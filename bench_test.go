@@ -1,0 +1,245 @@
+// Benchmarks regenerating every table and figure of the paper (one bench per
+// experiment id of DESIGN.md §3) plus micro-benchmarks of the simulation
+// kernel. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench measures the cost of one full regeneration of its
+// table and reports the experiment's headline number as a custom metric so
+// `go test -bench` output doubles as a results summary. EXPERIMENTS.md
+// records the paper-vs-measured comparison in prose.
+package kofl_test
+
+import (
+	"strconv"
+	"testing"
+
+	"kofl"
+	"kofl/internal/core"
+	"kofl/internal/experiments"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// BenchmarkFig1Circulation measures depth-first circulation of a single
+// resource token (Figure 1): the cost of one full lap of the virtual ring on
+// the paper's tree.
+func BenchmarkFig1Circulation(b *testing.B) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 1, L: 1, N: tr.N(), CMAX: 0, Features: core.Naive()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	s.Seed(tr.Root(), 0, message.NewRes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(int64(tr.RingLen())) // one lap = 2(n-1) deliveries
+	}
+	b.ReportMetric(float64(tr.RingLen()), "hops/lap")
+}
+
+// BenchmarkFig2Deadlock runs the naive variant into Figure 2's deadlock and
+// verifies the blocked reservation pattern, per iteration.
+func BenchmarkFig2Deadlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := tree.Paper()
+		cfg := core.Config{K: 3, L: 5, N: tr.N(), CMAX: 0, Features: core.Naive()}
+		s := sim.MustNew(tr, cfg, sim.Options{Seed: int64(i)})
+		r, a := tree.PaperID("r"), tree.PaperID("a")
+		s.Seed(r, tr.ChannelTo(r, a), message.NewRes(), message.NewRes())
+		s.Seed(a, tr.ChannelTo(a, tree.PaperID("b")), message.NewRes())
+		s.Seed(a, tr.ChannelTo(a, tree.PaperID("c")), message.NewRes())
+		s.Seed(r, tr.ChannelTo(r, tree.PaperID("d")), message.NewRes())
+		for name, need := range map[string]int{"a": 3, "b": 2, "c": 2, "d": 2} {
+			workload.Attach(s, tree.PaperID(name), workload.Fixed(need, 10, 0, -1))
+			if err := s.Handle(tree.PaperID(name)).Request(need); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run(10_000)
+		if !s.Quiescent() {
+			b.Fatal("naive variant did not deadlock")
+		}
+	}
+}
+
+// BenchmarkFig3Livelock replays Figure 3's livelock cycle; the metric is the
+// cost of one full 12-action cycle that starves process a.
+func BenchmarkFig3Livelock(b *testing.B) {
+	tb := experiments.Fig3(1)
+	if len(tb.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(int64(i))
+	}
+}
+
+// BenchmarkFig4VirtualRing measures the Euler-tour (virtual ring)
+// construction across the sweep topologies.
+func BenchmarkFig4VirtualRing(b *testing.B) {
+	trs := []*tree.Tree{tree.Paper(), tree.Chain(64), tree.Star(64), tree.Balanced(2, 5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range trs {
+			if len(tr.EulerTour()) != tr.RingLen() {
+				b.Fatal("bad ring")
+			}
+		}
+	}
+}
+
+// BenchmarkT1Convergence measures one full convergence from an arbitrary
+// configuration (state corruption + channel garbage) on a 16-process tree.
+func BenchmarkT1Convergence(b *testing.B) {
+	steps := int64(0)
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		tr := tree.Star(16)
+		sys := kofl.MustNew(tr, kofl.Options{K: 2, L: 3, CMAX: 4, Seed: int64(i)})
+		sys.InjectArbitraryFaults(int64(i) + 1000)
+		if !sys.RunUntilConverged(2_000_000) {
+			b.Fatal("did not converge")
+		}
+		at, _ := sys.Converged()
+		steps += at
+		runs++
+	}
+	b.ReportMetric(float64(steps)/float64(runs), "steps/convergence")
+}
+
+// BenchmarkT2WaitingTime measures a saturated run on the paper tree and
+// reports the worst observed waiting time against Theorem 2's bound.
+func BenchmarkT2WaitingTime(b *testing.B) {
+	var worst int64
+	for i := 0; i < b.N; i++ {
+		tr := tree.Paper()
+		sys := kofl.MustNew(tr, kofl.Options{K: 3, L: 5, Seed: int64(i)})
+		for p := 0; p < tr.N(); p++ {
+			need := 1
+			if p == tr.N()-1 {
+				need = 3
+			}
+			sys.Saturate(p, need, 0, 0, 0)
+		}
+		sys.Run(60_000)
+		if m := sys.Metrics(); m.MaxWaiting > worst {
+			worst = m.MaxWaiting
+			if m.MaxWaiting > m.WaitingBound {
+				b.Fatalf("waiting %d exceeded bound %d", m.MaxWaiting, m.WaitingBound)
+			}
+		}
+	}
+	b.ReportMetric(float64(worst), "max-wait")
+	b.ReportMetric(float64(kofl.WaitingBound(8, 5)), "bound")
+}
+
+// BenchmarkLivenessKL measures the (k,ℓ)-liveness scenario table (L14).
+func BenchmarkLivenessKL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Liveness(int64(i))
+	}
+}
+
+// BenchmarkAblationPusherGuard regenerates ablation A1 (erratum E1).
+func BenchmarkAblationPusherGuard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPusherGuard(int64(i))
+	}
+}
+
+// BenchmarkAblationCountOrder regenerates ablation A2 (erratum E2).
+func BenchmarkAblationCountOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationCountOrder(int64(i), true)
+	}
+}
+
+// BenchmarkAblationVariants regenerates the variant ladder A3.
+func BenchmarkAblationVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationVariants(int64(i))
+	}
+}
+
+// BenchmarkThroughput measures grant throughput of the full protocol under
+// saturation on stars of growing size (table P1's headline series).
+func BenchmarkThroughput(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		b.Run("star-"+strconv.Itoa(n), func(b *testing.B) {
+			tr := tree.Star(n)
+			sys := kofl.MustNew(tr, kofl.Options{K: 2, L: 5, Seed: 1})
+			for p := 0; p < tr.N(); p++ {
+				sys.Saturate(p, 1+p%2, 0, 0, 0)
+			}
+			b.ResetTimer()
+			sys.Run(int64(b.N))
+			b.StopTimer()
+			m := sys.Metrics()
+			if b.N > 1000 {
+				b.ReportMetric(float64(m.TotalGrants)/float64(b.N)*10_000, "grants/10k-steps")
+			}
+		})
+	}
+}
+
+// BenchmarkControlOverhead measures controller deliveries per grant (P2).
+func BenchmarkControlOverhead(b *testing.B) {
+	tr := tree.Paper()
+	sys := kofl.MustNew(tr, kofl.Options{K: 3, L: 5, Seed: 1})
+	for p := 0; p < tr.N(); p++ {
+		sys.Saturate(p, 1+p%3, 3, 6, 0)
+	}
+	b.ResetTimer()
+	sys.Run(int64(b.N))
+	b.StopTimer()
+	m := sys.Metrics()
+	if m.TotalGrants > 0 && b.N > 1000 {
+		b.ReportMetric(float64(sys.Sim().Delivered[message.Ctrl])/float64(m.TotalGrants), "ctrl-msgs/grant")
+	}
+}
+
+// BenchmarkBaselineRing regenerates the B1 tree-vs-ring comparison table.
+func BenchmarkBaselineRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Baseline(int64(i), true)
+	}
+}
+
+// BenchmarkExtension regenerates the E5 spanning-tree composition table.
+func BenchmarkExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Extension(int64(i), true)
+	}
+}
+
+// BenchmarkSimStep is the kernel micro-benchmark: one scheduler step of the
+// full protocol under load on the paper tree.
+func BenchmarkSimStep(b *testing.B) {
+	tr := tree.Paper()
+	sys := kofl.MustNew(tr, kofl.Options{K: 3, L: 5, Seed: 1})
+	for p := 0; p < tr.N(); p++ {
+		sys.Saturate(p, 1+p%3, 2, 4, 0)
+	}
+	sys.Run(10_000) // warm: converged, steady churn
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// BenchmarkLargeTree exercises scaling: one step on a 1024-process
+// caterpillar under saturation.
+func BenchmarkLargeTree(b *testing.B) {
+	tr := tree.Caterpillar(256, 3)
+	sys := kofl.MustNew(tr, kofl.Options{K: 2, L: 8, Seed: 1})
+	for p := 0; p < tr.N(); p++ {
+		sys.Saturate(p, 1+p%2, 10, 100, 0)
+	}
+	sys.Run(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}

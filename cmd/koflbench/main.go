@@ -1,0 +1,50 @@
+// Command koflbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 and EXPERIMENTS.md): the figure
+// reproductions F1-F4, the theorem experiments T1-T2, the liveness check
+// L14, the errata ablations A1-A2, the variant ladder A3 and the
+// performance sweeps P1-P2.
+//
+// Usage:
+//
+//	koflbench [-seed N] [-quick] [-exp F1,T2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kofl/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "random seed for every experiment")
+	quick := flag.Bool("quick", false, "trim the sweeps for a fast regeneration")
+	exp := flag.String("exp", "", "comma-separated experiment ids to run (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	start := time.Now()
+	n := 0
+	for _, tb := range experiments.All(*seed, *quick) {
+		if len(want) > 0 && !want[strings.ToUpper(tb.ID)] {
+			continue
+		}
+		fmt.Println(tb)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "koflbench: no experiment matched %q\n", *exp)
+		os.Exit(1)
+	}
+	fmt.Printf("regenerated %d experiment(s) in %v (seed=%d quick=%v)\n",
+		n, time.Since(start).Round(time.Millisecond), *seed, *quick)
+}

@@ -1,0 +1,61 @@
+package kofl_test
+
+import (
+	"testing"
+
+	"kofl"
+)
+
+func TestNewFromGraphComposition(t *testing.T) {
+	g := kofl.GridGraph(3, 3)
+	comp, err := kofl.NewFromGraph(g, kofl.Options{K: 2, L: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SpanningTree.N() != 9 {
+		t.Fatalf("tree size %d", comp.SpanningTree.N())
+	}
+	if comp.TreeRounds <= 0 {
+		t.Errorf("TreeRounds = %d, want > 0 (layer starts corrupted)", comp.TreeRounds)
+	}
+	// BFS optimality: corner-rooted 3x3 grid has height 4.
+	if comp.SpanningTree.Height() != 4 {
+		t.Errorf("tree height %d, want BFS optimum 4", comp.SpanningTree.Height())
+	}
+	// The exclusion layer works on top.
+	for p := 0; p < 9; p++ {
+		comp.Saturate(p, 1+p%2, 2, 4, 0)
+	}
+	comp.Run(300_000)
+	m := comp.Metrics()
+	if !m.Converged {
+		t.Fatal("exclusion layer did not converge on the extracted tree")
+	}
+	for p, gr := range m.Grants {
+		if gr == 0 {
+			t.Errorf("process %d starved on the composed system", p)
+		}
+	}
+}
+
+func TestNewFromGraphPropagatesErrors(t *testing.T) {
+	g := kofl.RingGraph(6)
+	if _, err := kofl.NewFromGraph(g, kofl.Options{K: 0, L: 0}); err == nil {
+		t.Error("invalid exclusion options accepted")
+	}
+}
+
+func TestGraphConstructors(t *testing.T) {
+	if g := kofl.RingGraph(5); g.N() != 5 || g.Edges() != 5 {
+		t.Error("RingGraph")
+	}
+	if g := kofl.CompleteGraph(4); g.Edges() != 6 {
+		t.Error("CompleteGraph")
+	}
+	if _, err := kofl.NewGraph(3, [][2]int{{0, 1}, {1, 2}}); err != nil {
+		t.Errorf("NewGraph: %v", err)
+	}
+	if _, err := kofl.NewGraph(3, [][2]int{{0, 1}}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package channel implements the reliable FIFO links of the model.
+//
+// Each bidirectional link of the tree is two directed channels. A channel
+// delivers messages in order and never loses one (after transient faults
+// stop), but may initially contain up to CMAX arbitrary messages — the
+// assumption the paper needs for a bounded-memory self-stabilizing solution
+// (Gouda & Multari).
+package channel
+
+import (
+	"fmt"
+
+	"kofl/internal/message"
+)
+
+// Channel is one directed FIFO channel.
+type Channel struct {
+	// From/To identify the directed edge; FromCh/ToCh are the channel labels
+	// at the sender resp. receiver.
+	From, FromCh, To, ToCh int
+
+	queue []message.Message
+	head  int
+
+	// Stats.
+	Sent      int // messages ever enqueued (excluding initial garbage)
+	Delivered int // messages ever dequeued
+	MaxDepth  int // high-water mark of queue length
+}
+
+// New returns an empty channel for the directed edge from → to.
+func New(from, fromCh, to, toCh int) *Channel {
+	return &Channel{From: from, FromCh: fromCh, To: to, ToCh: toCh}
+}
+
+// Len returns the number of messages currently in transit.
+func (c *Channel) Len() int { return len(c.queue) - c.head }
+
+// Push enqueues m at the tail.
+func (c *Channel) Push(m message.Message) {
+	c.queue = append(c.queue, m)
+	c.Sent++
+	if d := c.Len(); d > c.MaxDepth {
+		c.MaxDepth = d
+	}
+}
+
+// Seed enqueues m without counting it as sent; used for initial-configuration
+// garbage and for seeding the non-self-stabilizing variants with tokens.
+func (c *Channel) Seed(m message.Message) {
+	c.queue = append(c.queue, m)
+	if d := c.Len(); d > c.MaxDepth {
+		c.MaxDepth = d
+	}
+}
+
+// Pop dequeues the head message. It panics on an empty channel; callers must
+// check Len first (the simulator only schedules non-empty channels).
+func (c *Channel) Pop() message.Message {
+	if c.Len() == 0 {
+		panic(fmt.Sprintf("channel %d->%d: pop on empty channel", c.From, c.To))
+	}
+	m := c.queue[c.head]
+	c.head++
+	c.Delivered++
+	// Compact once the consumed prefix dominates, keeping Pop amortized O(1)
+	// without unbounded growth.
+	if c.head > 64 && c.head*2 >= len(c.queue) {
+		n := copy(c.queue, c.queue[c.head:])
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+	return m
+}
+
+// Peek returns the head message without consuming it.
+func (c *Channel) Peek() message.Message {
+	if c.Len() == 0 {
+		panic(fmt.Sprintf("channel %d->%d: peek on empty channel", c.From, c.To))
+	}
+	return c.queue[c.head]
+}
+
+// Snapshot returns a copy of the in-transit messages, head first.
+func (c *Channel) Snapshot() []message.Message {
+	out := make([]message.Message, c.Len())
+	copy(out, c.queue[c.head:])
+	return out
+}
+
+// Replace overwrites the in-transit contents with msgs (head first). Used by
+// fault injectors to corrupt, drop or duplicate in-flight messages.
+func (c *Channel) Replace(msgs []message.Message) {
+	c.queue = append(c.queue[:0], msgs...)
+	c.head = 0
+	if d := c.Len(); d > c.MaxDepth {
+		c.MaxDepth = d
+	}
+}
+
+// Count returns the number of in-transit messages of the given kind.
+func (c *Channel) Count(k message.Kind) int {
+	n := 0
+	for _, m := range c.queue[c.head:] {
+		if m.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// String identifies the channel endpoints.
+func (c *Channel) String() string {
+	return fmt.Sprintf("ch(%d:%d -> %d:%d, %d in transit)", c.From, c.FromCh, c.To, c.ToCh, c.Len())
+}

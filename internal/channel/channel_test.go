@@ -1,0 +1,179 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kofl/internal/message"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	msgs := []message.Message{
+		message.NewRes(), message.NewPush(), message.NewPrio(),
+		message.NewCtrl(3, false, 1, 0),
+	}
+	for _, m := range msgs {
+		c.Push(m)
+	}
+	for i, want := range msgs {
+		if got := c.Pop(); got != want {
+			t.Fatalf("pop %d: got %v, want %v", i, got, want)
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after drain = %d", c.Len())
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty channel did not panic")
+		}
+	}()
+	New(0, 0, 1, 0).Pop()
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	c.Push(message.NewRes())
+	if c.Peek().Kind != message.Res || c.Len() != 1 {
+		t.Error("Peek consumed the message")
+	}
+	if c.Pop().Kind != message.Res {
+		t.Error("Pop after Peek wrong")
+	}
+}
+
+func TestPeekEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Peek on empty channel did not panic")
+		}
+	}()
+	New(0, 0, 1, 0).Peek()
+}
+
+func TestStats(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	c.Seed(message.NewRes()) // garbage: not counted as sent
+	c.Push(message.NewPush())
+	c.Push(message.NewPrio())
+	if c.Sent != 2 {
+		t.Errorf("Sent = %d, want 2 (Seed must not count)", c.Sent)
+	}
+	if c.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", c.MaxDepth)
+	}
+	c.Pop()
+	c.Pop()
+	if c.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2", c.Delivered)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCount(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	c.Push(message.NewRes())
+	c.Push(message.NewRes())
+	c.Push(message.NewPush())
+	if got := c.Count(message.Res); got != 2 {
+		t.Errorf("Count(Res) = %d, want 2", got)
+	}
+	if got := c.Count(message.Prio); got != 0 {
+		t.Errorf("Count(Prio) = %d, want 0", got)
+	}
+	c.Pop()
+	if got := c.Count(message.Res); got != 1 {
+		t.Errorf("Count(Res) after pop = %d, want 1", got)
+	}
+}
+
+func TestSnapshotAndReplace(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	c.Push(message.NewRes())
+	c.Push(message.NewPush())
+	c.Pop() // head advances past Res
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != message.Push {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	// Mutating the snapshot must not affect the channel.
+	snap[0] = message.NewPrio()
+	if c.Peek().Kind != message.Push {
+		t.Error("Snapshot aliases channel storage")
+	}
+	c.Replace([]message.Message{message.NewPrio(), message.NewRes()})
+	if c.Len() != 2 || c.Pop().Kind != message.Prio || c.Pop().Kind != message.Res {
+		t.Error("Replace contents wrong")
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	// Force many pops to trigger internal compaction and check order holds.
+	c := New(0, 0, 1, 0)
+	const total = 1000
+	popped := 0
+	for i := 0; i < total; i++ {
+		c.Push(message.NewCtrl(i, false, 0, 0))
+		// Interleave pops to exercise head movement.
+		if i%2 == 1 {
+			if got := c.Pop(); got.C != popped {
+				t.Fatalf("pop %d: got C=%d", popped, got.C)
+			}
+			popped++
+		}
+	}
+	for c.Len() > 0 {
+		if got := c.Pop(); got.C != popped {
+			t.Fatalf("drain pop %d: got C=%d", popped, got.C)
+		}
+		popped++
+	}
+	if popped != total {
+		t.Errorf("popped %d, want %d", popped, total)
+	}
+}
+
+func TestFIFOProperty(t *testing.T) {
+	// Arbitrary interleavings of push/pop deliver in push order.
+	check := func(seed int64, ops uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(0, 0, 1, 0)
+		next, want := 0, 0
+		for i := 0; i < int(ops)%500+50; i++ {
+			if c.Len() == 0 || rng.Intn(2) == 0 {
+				c.Push(message.NewCtrl(next, false, 0, 0))
+				next++
+			} else {
+				if c.Pop().C != want {
+					return false
+				}
+				want++
+			}
+		}
+		for c.Len() > 0 {
+			if c.Pop().C != want {
+				return false
+			}
+			want++
+		}
+		return next == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New(2, 1, 3, 0)
+	c.Push(message.NewRes())
+	if got := c.String(); got != "ch(2:1 -> 3:0, 1 in transit)" {
+		t.Errorf("String = %q", got)
+	}
+}

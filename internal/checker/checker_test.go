@@ -1,0 +1,212 @@
+package checker_test
+
+import (
+	"testing"
+
+	"kofl/internal/checker"
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+func fullSim(t *testing.T, tr *tree.Tree, k, l int, seed int64) *sim.Sim {
+	t.Helper()
+	cfg := core.Config{K: k, L: l, CMAX: 4, Features: core.Full()}
+	return sim.MustNew(tr, cfg, sim.Options{Seed: seed})
+}
+
+// stuckApp models an application that entered its critical section and
+// never finishes: ReleaseCS stays false.
+type stuckApp struct{}
+
+func (stuckApp) EnterCS()           {}
+func (stuckApp) ReleaseCS() bool    { return false }
+func (stuckApp) Enabled(int64) bool { return false }
+func (stuckApp) Act(sim.Handle)     {}
+
+func TestLegitimacyTracksViolations(t *testing.T) {
+	tr := tree.Chain(4)
+	s := fullSim(t, tr, 1, 2, 1)
+	leg := checker.NewLegitimacy(s)
+	// Empty start: census wrong (no tokens yet).
+	if leg.CorrectNow() {
+		t.Fatal("empty census reported legitimate")
+	}
+	if _, ok := leg.ConvergedAt(); ok {
+		t.Fatal("converged before running")
+	}
+	if !s.RunUntil(500_000, leg.CorrectNow) {
+		t.Fatal("never legitimate")
+	}
+	s.Run(5_000)
+	at, ok := leg.ConvergedAt()
+	if !ok {
+		t.Fatal("not converged after census stabilized")
+	}
+	if at <= 0 || at > s.Now() {
+		t.Errorf("ConvergedAt = %d out of range (now %d)", at, s.Now())
+	}
+	if leg.LastViolation() != at-1 {
+		t.Errorf("LastViolation = %d, want %d", leg.LastViolation(), at-1)
+	}
+}
+
+func TestLegitimacyDetectsRelapse(t *testing.T) {
+	tr := tree.Chain(4)
+	s := fullSim(t, tr, 1, 2, 2)
+	leg := checker.NewLegitimacy(s)
+	if !s.RunUntil(500_000, leg.CorrectNow) {
+		t.Fatal("never legitimate")
+	}
+	// Inject an extra token: converged must flip to false after a step.
+	s.Seed(0, 0, message.NewRes())
+	s.Run(1)
+	if _, ok := leg.ConvergedAt(); ok {
+		t.Error("relapse not detected")
+	}
+}
+
+func TestSafetyFlagsOverCommitment(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 2, L: 2, CMAX: 2, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 3})
+	saf := checker.NewSafety(s)
+	// Corrupt two processes into In with more units than ℓ allows in total;
+	// their applications are mid-critical-section (never release).
+	s.AttachApp(1, stuckApp{})
+	s.AttachApp(2, stuckApp{})
+	s.Nodes[1].Restore(core.Snapshot{State: core.In, Need: 2, RSet: []int{0, 0}, Prio: core.NoPrio})
+	s.Nodes[2].Restore(core.Snapshot{State: core.In, Need: 2, RSet: []int{0, 0}, Prio: core.NoPrio})
+	s.Seed(0, 0, message.NewRes())
+	s.Run(1)
+	if len(saf.Violations) == 0 {
+		t.Fatal("4 units in use with ℓ=2 not flagged")
+	}
+	if saf.LastViolation() < 0 {
+		t.Error("LastViolation not set")
+	}
+	if saf.ViolationsAfter(saf.LastViolation()) != 0 {
+		t.Error("ViolationsAfter(last) should be 0")
+	}
+	if saf.ViolationsAfter(-1) == 0 {
+		t.Error("ViolationsAfter(-1) should count everything")
+	}
+}
+
+func TestWaitingMetricCountsOtherEnters(t *testing.T) {
+	// Under mutual exclusion (k=ℓ=1) on a saturated star, every granted
+	// request waited behind some other entries; the observed maximum must be
+	// positive and below the Theorem 2 bound.
+	tr := tree.Star(4)
+	s2 := fullSim(t, tr, 1, 1, 9)
+	w2 := checker.NewWaiting(s2)
+	for p := 1; p < tr.N(); p++ {
+		workload.Attach(s2, p, workload.Fixed(1, 0, 0, 0))
+	}
+	s2.Run(100_000)
+	if len(w2.Samples()) == 0 {
+		t.Fatal("no waiting samples")
+	}
+	if w2.Max() <= 0 {
+		t.Errorf("Max = %d, want > 0 under contention", w2.Max())
+	}
+	if w2.Max() > checker.Bound(tr.N(), 1) {
+		t.Errorf("waiting %d exceeds Theorem 2 bound %d", w2.Max(), checker.Bound(tr.N(), 1))
+	}
+	maxOf := int64(0)
+	for p := 1; p < tr.N(); p++ {
+		if m := w2.MaxOf(p); m > maxOf {
+			maxOf = m
+		}
+	}
+	if maxOf != w2.Max() {
+		t.Errorf("per-process max %d != global max %d", maxOf, w2.Max())
+	}
+}
+
+func TestBoundFormula(t *testing.T) {
+	cases := []struct {
+		n, l int
+		want int64
+	}{
+		{2, 1, 1},    // (2·2-3)² = 1
+		{3, 1, 9},    // 3² = 9
+		{8, 5, 845},  // 5·13²
+		{4, 3, 75},   // 3·5²
+		{16, 1, 841}, // 29²
+	}
+	for _, tc := range cases {
+		if got := checker.Bound(tc.n, tc.l); got != tc.want {
+			t.Errorf("Bound(%d,%d) = %d, want %d", tc.n, tc.l, got, tc.want)
+		}
+	}
+}
+
+func TestGrantsCounter(t *testing.T) {
+	tr := tree.Chain(3)
+	s := fullSim(t, tr, 1, 1, 5)
+	g := checker.NewGrants(s)
+	workload.Attach(s, 2, workload.Fixed(1, 2, 2, 3))
+	s.Run(200_000)
+	if g.Enters[2] != 3 {
+		t.Errorf("Enters[2] = %d, want exactly 3 (maxRequests)", g.Enters[2])
+	}
+	if g.Exits[2] != 3 {
+		t.Errorf("Exits[2] = %d, want 3", g.Exits[2])
+	}
+	if g.Total() != 3 {
+		t.Errorf("Total = %d", g.Total())
+	}
+}
+
+func TestDFSOrderCleanCirculation(t *testing.T) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 1, L: 1, CMAX: 0, Features: core.Naive()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	s.Seed(0, 0, message.NewRes())
+	d := checker.NewDFSOrder(s)
+	s.Run(int64(5 * tr.RingLen()))
+	if d.Failures != 0 {
+		t.Errorf("%d order violations on a clean circulation", d.Failures)
+	}
+	if d.Visits != 5*tr.RingLen() {
+		t.Errorf("visits = %d, want %d", d.Visits, 5*tr.RingLen())
+	}
+}
+
+func TestDFSOrderDetectsViolation(t *testing.T) {
+	// Two tokens in the same system break the single-token order premise:
+	// the monitor must flag at least one violation.
+	tr := tree.Chain(5)
+	cfg := core.Config{K: 1, L: 2, CMAX: 0, Features: core.Naive()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 2})
+	// Seed the two tokens at different ring positions.
+	s.Seed(0, 0, message.NewRes())
+	s.Seed(2, 1, message.NewRes())
+	d := checker.NewDFSOrder(s)
+	s.Run(2_000)
+	if d.Failures == 0 {
+		t.Error("interleaved double circulation reported as clean DFS order")
+	}
+}
+
+func TestCirculationsMonitor(t *testing.T) {
+	tr := tree.Chain(4)
+	s := fullSim(t, tr, 1, 2, 7)
+	c := checker.NewCirculations(s)
+	s.Run(100_000)
+	if c.Completed == 0 {
+		t.Fatal("no circulations observed")
+	}
+	if c.Timeouts == 0 {
+		t.Error("bootstrap timeout not observed")
+	}
+	if c.Created < 2 {
+		t.Errorf("Created = %d, want ≥ ℓ=2 bootstrap tokens", c.Created)
+	}
+	if c.LastCount[0] != 2 || c.LastCount[1] != 1 || c.LastCount[2] != 1 {
+		t.Errorf("LastCount = %v, want [2 1 1]", c.LastCount)
+	}
+}

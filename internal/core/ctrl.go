@@ -1,0 +1,141 @@
+package core
+
+import "kofl/internal/message"
+
+// receiveCtrl dispatches the controller message to the root (Algorithm 1
+// lines 42-76) or non-root (Algorithm 2 lines 32-60) logic.
+func (n *Node) receiveCtrl(env Env, q int, m message.Message) {
+	if n.isRoot {
+		n.rootCtrl(env, q, m)
+	} else {
+		n.nodeCtrl(env, q, m)
+	}
+}
+
+// rootCtrl implements the root's controller handling. A message is valid iff
+// it arrives from Succ carrying the current myC; everything else is a
+// duplicate or garbage and is silently dropped (counter flushing).
+//
+// When Succ wraps to 0 a full traversal ended: the root now knows the token
+// census (PT+SToken resource tokens, PPr+SPrio priority tokens, SPush
+// pushers — each saturating, so "too many" is detectable with bounded
+// memory) and either tops up missing tokens or flags a reset traversal that
+// erases every token before recreating exactly (ℓ, 1, 1).
+func (n *Node) rootCtrl(env Env, q int, m message.Message) {
+	if q != n.succ || m.C != n.myC {
+		return // invalid: ignore, do not retransmit
+	}
+	pt, ppr := m.PT, m.PPr
+	if !n.cfg.Errata.PaperCountOrder {
+		// Corrected order (DESIGN.md erratum E2): tokens parked at the root
+		// are accounted to the traversal that is about to complete, so each
+		// token is counted exactly once per circulation.
+		pt, ppr = n.accumulate(pt, ppr, q)
+	}
+	n.succ = (n.succ + 1) % n.deg
+	if n.succ == 0 {
+		// End of traversal (Algorithm 1 lines 45-68).
+		n.myC = (n.myC + 1) % n.cfg.CounterMod()
+		resCount := pt + n.stoken
+		prioCount := ppr + n.sprio
+		pushCount := n.spush
+		n.reset = resCount > n.cfg.L || prioCount > 1 || pushCount > 1
+		n.emit(Event{Kind: EvCirculation, N1: resCount, N2: prioCount, N3: pushCount, Flag: n.reset})
+		if n.reset {
+			n.rset = n.rset[:0]
+			n.prio = NoPrio
+		} else {
+			createdRes, createdPrio, createdPush := 0, 0, 0
+			if prioCount < 1 && n.cfg.Features.Priority {
+				env.Send(0, message.NewPrio())
+				createdPrio = 1
+			}
+			for pt+n.stoken < n.cfg.L {
+				env.Send(0, message.NewRes())
+				n.stoken = min(n.stoken+1, n.cfg.L+1)
+				createdRes++
+			}
+			if pushCount < 1 && n.cfg.Features.Pusher {
+				env.Send(0, message.NewPush())
+				createdPush = 1
+			}
+			if createdRes+createdPrio+createdPush > 0 {
+				n.emit(Event{Kind: EvCreate, N1: createdRes, N2: createdPrio, N3: createdPush})
+			}
+		}
+		n.stoken, n.sprio, n.spush = 0, 0, 0
+		pt, ppr = 0, 0
+	}
+	if n.cfg.Errata.PaperCountOrder {
+		// Paper order: accumulate after the completion block (lines 69-72).
+		pt, ppr = n.accumulate(pt, ppr, q)
+	}
+	env.Send(n.succ, message.NewCtrl(n.myC, n.reset, pt, ppr))
+	env.RestartTimer()
+}
+
+// accumulate adds the tokens the controller passes at this visit — the
+// reserved resource tokens that arrived from channel q and a held priority
+// token that arrived from q — into the saturating counters.
+func (n *Node) accumulate(pt, ppr, q int) (int, int) {
+	pt = min(pt+n.multiplicity(q), n.cfg.L+1)
+	if n.prio == q {
+		ppr = min(ppr+1, 2)
+	}
+	return pt, ppr
+}
+
+// nodeCtrl implements Algorithm 2 lines 32-60. A non-root process accepts a
+// controller (1) from its parent (channel 0) — adopting its flag value when
+// it differs from myC and restarting its local DFS — or (2) from Succ ≠ 0
+// carrying myC, continuing the local DFS. A duplicate from the parent with
+// an unchanged flag is retransmitted without processing "to prevent
+// deadlock"; everything else is dropped.
+func (n *Node) nodeCtrl(env Env, q int, m message.Message) {
+	ok := false
+	if q == n.succ && m.C == n.myC && n.succ != 0 {
+		n.succ = (n.succ + 1) % n.deg
+		ok = true
+		if m.R {
+			n.applyReset()
+		}
+	}
+	if q == 0 {
+		ok = true
+		if m.C != n.myC {
+			n.succ = min(1, n.deg-1)
+			if m.R {
+				n.applyReset()
+			}
+		}
+		n.myC = m.C
+	}
+	if ok {
+		pt, ppr := n.accumulate(m.PT, m.PPr, q)
+		env.Send(n.succ, message.NewCtrl(n.myC, m.R, pt, ppr))
+	}
+}
+
+// applyReset erases the process's reservations and priority hold when
+// visited by a reset-flagged controller.
+func (n *Node) applyReset() {
+	if len(n.rset) > 0 {
+		n.emit(Event{Kind: EvEvict, N1: len(n.rset)})
+	}
+	n.rset = n.rset[:0]
+	n.prio = NoPrio
+}
+
+// HandleTimeout implements the root's retransmission (Algorithm 1 lines
+// 99-102): after a long enough silence the controller is presumed lost and
+// a fresh copy with zeroed counts is sent toward Succ. Counter flushing
+// absorbs the duplicates this may create. No-op at non-roots and in
+// variants without the controller.
+func (n *Node) HandleTimeout(env Env) {
+	if !n.isRoot || !n.cfg.Features.Controller {
+		return
+	}
+	n.emit(Event{Kind: EvTimeout})
+	env.Send(n.succ, message.NewCtrl(n.myC, n.reset, 0, 0))
+	env.RestartTimer()
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"testing"
+
+	"kofl/internal/message"
+)
+
+func TestReceiveResReservesWhileShort(t *testing.T) {
+	n, _ := newLeaf(t, cfg(2, 3), 3)
+	env := &mockEnv{}
+	_ = n.Request(env, 2)
+	n.HandleMessage(1, message.NewRes(), env)
+	if n.Reserved() != 1 || len(env.sends) != 0 {
+		t.Fatalf("first token: reserved=%d sends=%v", n.Reserved(), env.sends)
+	}
+	n.HandleMessage(2, message.NewRes(), env)
+	if n.Reserved() != 2 || n.State() != In {
+		t.Fatalf("second token: reserved=%d state=%v", n.Reserved(), n.State())
+	}
+	// A third token must be forwarded (|RSet| ≥ Need): from channel 0 to 1.
+	n.HandleMessage(0, message.NewRes(), env)
+	if got := env.sent(0); got.m.Kind != message.Res || got.ch != 1 {
+		t.Errorf("surplus token: sent %v, want Res on channel 1", got)
+	}
+}
+
+func TestReceiveResForwardsWhenOut(t *testing.T) {
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	env := &mockEnv{}
+	n.HandleMessage(1, message.NewRes(), env)
+	// DFS rule: in on 1, out on (1+1) mod 2 = 0.
+	if got := env.sent(0); got.m.Kind != message.Res || got.ch != 0 {
+		t.Errorf("forwarded to %v, want channel 0", got)
+	}
+	if n.Reserved() != 0 {
+		t.Error("non-requester reserved a token")
+	}
+}
+
+func TestRootTransitCountsRingStart(t *testing.T) {
+	n, _ := newRoot(t, cfg(1, 1), 3)
+	env := &mockEnv{}
+	// Token in transit from the last channel crosses ring START.
+	n.HandleMessage(2, message.NewRes(), env)
+	if got := n.Snapshot().SToken; got != 1 {
+		t.Errorf("SToken = %d, want 1", got)
+	}
+	if got := env.sent(0); got.ch != 0 {
+		t.Errorf("token sent to channel %d, want 0", got.ch)
+	}
+	// From a non-last channel: no START crossing.
+	n.HandleMessage(0, message.NewRes(), env)
+	if got := n.Snapshot().SToken; got != 1 {
+		t.Errorf("SToken = %d after mid-ring transit, want 1", got)
+	}
+}
+
+func TestSTokenSaturates(t *testing.T) {
+	n, _ := newRoot(t, cfg(1, 1), 2) // ℓ = 1, saturation at ℓ+1 = 2
+	env := &mockEnv{}
+	for i := 0; i < 5; i++ {
+		n.HandleMessage(1, message.NewRes(), env)
+	}
+	if got := n.Snapshot().SToken; got != 2 {
+		t.Errorf("SToken = %d, want saturation at ℓ+1=2", got)
+	}
+}
+
+func TestRootDropsTokensDuringReset(t *testing.T) {
+	n, _ := newRoot(t, cfg(1, 1), 2)
+	n.Restore(Snapshot{Reset: true, Prio: NoPrio})
+	env := &mockEnv{}
+	drops := 0
+	n.SetObserver(func(e Event) {
+		if e.Kind == EvDrop {
+			drops++
+		}
+	})
+	n.HandleMessage(0, message.NewRes(), env)
+	n.HandleMessage(1, message.NewPush(), env)
+	n.HandleMessage(0, message.NewPrio(), env)
+	if len(env.sends) != 0 {
+		t.Errorf("reset root retransmitted: %v", env.sends)
+	}
+	if drops != 3 {
+		t.Errorf("drops = %d, want 3", drops)
+	}
+}
+
+func TestNonRootNeverDropsTokens(t *testing.T) {
+	// Algorithm 2 has no Reset guard: even a corrupted non-root forwards.
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	env := &mockEnv{}
+	n.HandleMessage(0, message.NewRes(), env)
+	n.HandleMessage(0, message.NewPush(), env)
+	if len(env.sends) != 2 {
+		t.Errorf("non-root dropped messages: %v", env.sends)
+	}
+}
+
+func TestPusherEvictsWaiter(t *testing.T) {
+	n, _ := newLeaf(t, cfg(2, 3), 3)
+	env := &mockEnv{}
+	_ = n.Request(env, 2)
+	n.HandleMessage(1, message.NewRes(), env) // partial: 1 of 2
+	env.sends = nil
+	n.HandleMessage(0, message.NewPush(), env)
+	if n.Reserved() != 0 {
+		t.Errorf("waiter kept %d tokens after pusher", n.Reserved())
+	}
+	// Released token continues from channel 1 to 2; pusher from 0 to 1.
+	if got := env.sent(0); got.m.Kind != message.Res || got.ch != 2 {
+		t.Errorf("released token: %v, want Res on 2", got)
+	}
+	if got := env.sent(1); got.m.Kind != message.Push || got.ch != 1 {
+		t.Errorf("pusher: %v, want Push on 1", got)
+	}
+	if n.State() != Req {
+		t.Errorf("state after eviction = %v, want still Req", n.State())
+	}
+}
+
+func TestPusherSparesCSHolder(t *testing.T) {
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	env := &mockEnv{}
+	_ = n.Request(env, 1)
+	n.HandleMessage(0, message.NewRes(), env)
+	if n.State() != In {
+		t.Fatal("not in CS")
+	}
+	env.sends = nil
+	n.HandleMessage(1, message.NewPush(), env)
+	if n.Reserved() != 1 {
+		t.Error("pusher evicted a critical-section holder")
+	}
+	if got := env.sent(0); got.m.Kind != message.Push || got.ch != 0 {
+		t.Errorf("pusher not forwarded: %v", got)
+	}
+}
+
+func TestPusherSparesEnabledRequester(t *testing.T) {
+	// State = Req with |RSet| ≥ Need (about to enter) keeps its tokens. To
+	// observe this we hold entry off by corrupting state directly.
+	n, _ := newLeaf(t, cfg(2, 3), 2)
+	n.Restore(Snapshot{State: Req, Need: 1, RSet: []int{0}, Prio: NoPrio})
+	env := &mockEnv{}
+	n.receivePush(env, 1) // bypass bottom half to isolate the guard
+	if n.Reserved() != 1 {
+		t.Error("pusher evicted an enabled requester")
+	}
+}
+
+func TestPusherSparesPriorityHolder(t *testing.T) {
+	n, _ := newLeaf(t, cfg(2, 3), 2)
+	env := &mockEnv{}
+	_ = n.Request(env, 2)
+	n.HandleMessage(0, message.NewPrio(), env) // captured: unsatisfied request
+	if !n.HoldsPrio() {
+		t.Fatal("prio not captured")
+	}
+	n.HandleMessage(1, message.NewRes(), env) // partial reservation
+	env.sends = nil
+	n.HandleMessage(0, message.NewPush(), env)
+	if n.Reserved() != 1 {
+		t.Error("pusher evicted the priority holder")
+	}
+	if got := env.sent(0); got.m.Kind != message.Push {
+		t.Errorf("pusher not forwarded: %v", got)
+	}
+}
+
+func TestLiteralPusherGuardInvertsShield(t *testing.T) {
+	c := cfg(2, 3)
+	c.Errata.LiteralPusherGuard = true
+
+	// Without prio: the literal guard never evicts a plain waiter.
+	n := MustNewNode(c, 1, 2, false, &mockApp{})
+	env := &mockEnv{}
+	_ = n.Request(env, 2)
+	n.HandleMessage(0, message.NewRes(), env)
+	n.HandleMessage(0, message.NewPush(), env)
+	if n.Reserved() != 1 {
+		t.Error("literal guard evicted a waiter without prio")
+	}
+
+	// With prio: the literal guard evicts the priority holder.
+	n2 := MustNewNode(c, 1, 2, false, &mockApp{})
+	env2 := &mockEnv{}
+	_ = n2.Request(env2, 2)
+	n2.HandleMessage(0, message.NewPrio(), env2)
+	n2.HandleMessage(1, message.NewRes(), env2)
+	n2.HandleMessage(0, message.NewPush(), env2)
+	if n2.Reserved() != 0 {
+		t.Error("literal guard spared the priority holder")
+	}
+}
+
+func TestPusherNoEvictEventWhenEmpty(t *testing.T) {
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	evicts := 0
+	n.SetObserver(func(e Event) {
+		if e.Kind == EvEvict {
+			evicts++
+		}
+	})
+	env := &mockEnv{}
+	n.HandleMessage(0, message.NewPush(), env)
+	if evicts != 0 {
+		t.Error("EvEvict emitted with empty RSet")
+	}
+}
+
+func TestRootCountsPushCrossings(t *testing.T) {
+	n, _ := newRoot(t, cfg(1, 1), 2)
+	env := &mockEnv{}
+	n.HandleMessage(1, message.NewPush(), env) // last channel: crossing
+	n.HandleMessage(0, message.NewPush(), env) // mid-ring: no crossing
+	if got := n.Snapshot().SPush; got != 1 {
+		t.Errorf("SPush = %d, want 1", got)
+	}
+	// Saturation at 2.
+	n.HandleMessage(1, message.NewPush(), env)
+	n.HandleMessage(1, message.NewPush(), env)
+	if got := n.Snapshot().SPush; got != 2 {
+		t.Errorf("SPush = %d, want saturation at 2", got)
+	}
+}
+
+func TestPrioCapturedByRequester(t *testing.T) {
+	n, _ := newLeaf(t, cfg(2, 3), 2)
+	env := &mockEnv{}
+	_ = n.Request(env, 2)
+	n.HandleMessage(1, message.NewPrio(), env)
+	if n.Prio() != 1 {
+		t.Errorf("Prio = %d, want channel 1", n.Prio())
+	}
+	if len(env.sends) != 0 {
+		t.Errorf("unsatisfied requester forwarded prio: %v", env.sends)
+	}
+}
+
+func TestPrioPassesThroughNonRequester(t *testing.T) {
+	// A non-requester captures (Prio = ⊥) but the bottom half releases it
+	// immediately in the same step: net effect, pass-through on DFS order.
+	n, _ := newLeaf(t, cfg(1, 1), 3)
+	env := &mockEnv{}
+	n.HandleMessage(1, message.NewPrio(), env)
+	if n.HoldsPrio() {
+		t.Error("non-requester kept the priority token")
+	}
+	if got := env.sent(0); got.m.Kind != message.Prio || got.ch != 2 {
+		t.Errorf("prio pass-through: %v, want Prio on channel 2", got)
+	}
+}
+
+func TestSecondPrioForwardedWhileHolding(t *testing.T) {
+	// A process already holding a priority token (Prio ≠ ⊥) forwards extra
+	// ones immediately — this is how duplicates keep moving toward the root.
+	n, _ := newLeaf(t, cfg(2, 3), 3)
+	env := &mockEnv{}
+	_ = n.Request(env, 2)
+	n.HandleMessage(0, message.NewPrio(), env)
+	env.sends = nil
+	n.HandleMessage(1, message.NewPrio(), env)
+	if got := env.sent(0); got.m.Kind != message.Prio || got.ch != 2 {
+		t.Errorf("duplicate prio: %v, want forward on channel 2", got)
+	}
+	if n.Prio() != 0 {
+		t.Errorf("holder's Prio changed to %d", n.Prio())
+	}
+}
+
+func TestPrioReleasedOnEnterCS(t *testing.T) {
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	env := &mockEnv{}
+	_ = n.Request(env, 1)
+	n.HandleMessage(0, message.NewPrio(), env)
+	if !n.HoldsPrio() {
+		t.Fatal("prio not held")
+	}
+	env.sends = nil
+	n.HandleMessage(1, message.NewRes(), env) // satisfies; enters CS
+	if n.State() != In {
+		t.Fatal("not in CS")
+	}
+	if n.HoldsPrio() {
+		t.Error("prio still held after entering CS")
+	}
+	// Released from channel 0 to channel 1.
+	if got := env.sent(0); got.m.Kind != message.Prio || got.ch != 1 {
+		t.Errorf("prio release: %v, want Prio on channel 1", got)
+	}
+}
+
+func TestRootCountsPrioCrossings(t *testing.T) {
+	n, _ := newRoot(t, cfg(2, 3), 2)
+	env := &mockEnv{}
+	_ = n.Request(env, 2)                      // keep prio held on capture
+	n.HandleMessage(1, message.NewPrio(), env) // captured from last channel
+	if n.Prio() != 1 {
+		t.Fatal("prio not captured")
+	}
+	// Satisfy the request: prio released from channel 1 → crossing.
+	n.HandleMessage(0, message.NewRes(), env)
+	n.HandleMessage(0, message.NewRes(), env)
+	if got := n.Snapshot().SPrio; got != 1 {
+		t.Errorf("SPrio = %d, want 1 (release from last channel)", got)
+	}
+}
+
+func TestGarbageKindDropped(t *testing.T) {
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	env := &mockEnv{}
+	n.HandleMessage(0, message.Message{Kind: message.Kind(99)}, env)
+	if len(env.sends) != 0 {
+		t.Errorf("garbage kind retransmitted: %v", env.sends)
+	}
+}
+
+func TestCtrlIgnoredWithoutController(t *testing.T) {
+	c := Config{K: 1, L: 1, N: 4, CMAX: 2, Features: PusherOnly()}
+	n := MustNewNode(c, 1, 2, false, &mockApp{})
+	env := &mockEnv{}
+	n.HandleMessage(0, message.NewCtrl(1, false, 0, 0), env)
+	if len(env.sends) != 0 {
+		t.Errorf("variant without controller reacted to ctrl: %v", env.sends)
+	}
+}
+
+func TestHandleMessageBadChannelPanics(t *testing.T) {
+	n, _ := newLeaf(t, cfg(1, 1), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range channel did not panic")
+		}
+	}()
+	n.HandleMessage(2, message.NewRes(), &mockEnv{})
+}
+
+func TestFeatureConstructors(t *testing.T) {
+	if f := Naive(); f.Pusher || f.Priority || f.Controller {
+		t.Errorf("Naive = %+v", f)
+	}
+	if f := PusherOnly(); !f.Pusher || f.Priority || f.Controller {
+		t.Errorf("PusherOnly = %+v", f)
+	}
+	if f := NonStabilizing(); !f.Pusher || !f.Priority || f.Controller {
+		t.Errorf("NonStabilizing = %+v", f)
+	}
+	if f := Full(); !f.Pusher || !f.Priority || !f.Controller {
+		t.Errorf("Full = %+v", f)
+	}
+}

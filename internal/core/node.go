@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"kofl/internal/message"
+)
+
+// Node is one process of the protocol: the root runs Algorithm 1, every
+// other process Algorithm 2. A Node is driven from outside by
+// HandleMessage (a message was delivered), HandleTimeout (the root's
+// retransmission timer fired), Request (the application asks for units) and
+// Poll (the application's state may have changed). A Node is not safe for
+// concurrent use; each runtime serializes calls per node.
+type Node struct {
+	cfg    Config
+	id     int
+	deg    int // ∆p
+	isRoot bool
+	app    App
+	obs    Observer
+
+	// Application interface variables (paper §2).
+	state State
+	need  int
+
+	// Protocol variables common to Algorithms 1 and 2.
+	myC  int   // counter-flushing flag
+	succ int   // next channel for the controller
+	rset []int // multiset of channel labels of reserved resource tokens
+	prio int   // channel the priority token arrived from; NoPrio = ⊥
+
+	// Root-only variables (Algorithm 1).
+	reset  bool
+	stoken int // resource tokens that crossed ring START this traversal (≤ ℓ+1)
+	sprio  int // priority tokens likewise (≤ 2)
+	spush  int // pusher tokens likewise (≤ 2)
+}
+
+// NewNode builds the process with the given id and degree. The root (per the
+// tree package, id 0) runs Algorithm 1. app must be non-nil.
+func NewNode(cfg Config, id, deg int, isRoot bool, app App) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deg < 1 {
+		return nil, fmt.Errorf("core: process %d has degree %d; the tree must be connected", id, deg)
+	}
+	if app == nil {
+		return nil, fmt.Errorf("core: process %d needs an App", id)
+	}
+	return &Node{
+		cfg:    cfg,
+		id:     id,
+		deg:    deg,
+		isRoot: isRoot,
+		app:    app,
+		prio:   NoPrio,
+	}, nil
+}
+
+// MustNewNode is NewNode for static fixtures; it panics on error.
+func MustNewNode(cfg Config, id, deg int, isRoot bool, app App) *Node {
+	n, err := NewNode(cfg, id, deg, isRoot, app)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// SetObserver installs the event monitor (may be nil).
+func (n *Node) SetObserver(o Observer) { n.obs = o }
+
+func (n *Node) emit(e Event) {
+	if n.obs != nil {
+		e.P = n.id
+		n.obs(e)
+	}
+}
+
+// ID returns the process id.
+func (n *Node) ID() int { return n.id }
+
+// Degree returns ∆p.
+func (n *Node) Degree() int { return n.deg }
+
+// IsRoot reports whether this process runs Algorithm 1.
+func (n *Node) IsRoot() bool { return n.isRoot }
+
+// State returns the application-interface state.
+func (n *Node) State() State { return n.state }
+
+// Need returns the number of units currently requested.
+func (n *Node) Need() int { return n.need }
+
+// Reserved returns the number of resource tokens currently reserved (|RSet|).
+func (n *Node) Reserved() int { return len(n.rset) }
+
+// RSet returns a copy of the reservation multiset (channel labels).
+func (n *Node) RSet() []int {
+	out := make([]int, len(n.rset))
+	copy(out, n.rset)
+	return out
+}
+
+// Prio returns the channel the held priority token arrived from, or NoPrio.
+func (n *Node) Prio() int { return n.prio }
+
+// HoldsPrio reports whether the process holds the priority token.
+func (n *Node) HoldsPrio() bool { return n.prio != NoPrio }
+
+// MyC returns the counter-flushing flag value.
+func (n *Node) MyC() int { return n.myC }
+
+// Succ returns the channel the controller is expected from / forwarded to.
+func (n *Node) Succ() int { return n.succ }
+
+// ResetFlag returns the root's Reset variable (false at non-roots).
+func (n *Node) ResetFlag() bool { return n.reset }
+
+// Snapshot is a copy of a Node's protocol state; Restore applies one.
+// Together they let fault injectors place the process in an arbitrary
+// (domain-respecting) local state, which is exactly the fault model of
+// self-stabilization.
+type Snapshot struct {
+	State  State
+	Need   int
+	MyC    int
+	Succ   int
+	RSet   []int
+	Prio   int
+	Reset  bool
+	SToken int
+	SPrio  int
+	SPush  int
+}
+
+// Snapshot returns a copy of the current protocol state.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		State: n.state, Need: n.need, MyC: n.myC, Succ: n.succ,
+		RSet: n.RSet(), Prio: n.prio,
+		Reset: n.reset, SToken: n.stoken, SPrio: n.sprio, SPush: n.spush,
+	}
+}
+
+// Restore overwrites the protocol state with s, clamping every variable into
+// its declared domain (transient faults corrupt values, not types).
+func (n *Node) Restore(s Snapshot) {
+	n.state = State(clamp(int(s.State), 0, int(In)))
+	n.need = clamp(s.Need, 0, n.cfg.K)
+	n.myC = clamp(s.MyC, 0, n.cfg.CounterMod()-1)
+	n.succ = clamp(s.Succ, 0, n.deg-1)
+	n.rset = n.rset[:0]
+	for _, ch := range s.RSet {
+		if len(n.rset) >= n.cfg.K {
+			break
+		}
+		n.rset = append(n.rset, clamp(ch, 0, n.deg-1))
+	}
+	if s.Prio == NoPrio {
+		n.prio = NoPrio
+	} else {
+		n.prio = clamp(s.Prio, 0, n.deg-1)
+	}
+	if n.isRoot {
+		n.reset = s.Reset
+		n.stoken = clamp(s.SToken, 0, n.cfg.L+1)
+		n.sprio = clamp(s.SPrio, 0, 2)
+		n.spush = clamp(s.SPush, 0, 2)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Request switches the application interface from Out to Req for `need`
+// units (0 ≤ need ≤ k) and runs the protocol's local actions, which may
+// grant the request immediately. Any transition other than Out→Req is
+// forbidden by the interface contract and returns an error.
+func (n *Node) Request(env Env, need int) error {
+	if n.state != Out {
+		return fmt.Errorf("core: process %d: Request in state %v (only Out→Req is allowed)", n.id, n.state)
+	}
+	if need < 0 || need > n.cfg.K {
+		return fmt.Errorf("core: process %d: need %d outside [0..k=%d]", n.id, need, n.cfg.K)
+	}
+	n.need = need
+	n.state = Req
+	n.emit(Event{Kind: EvRequest, N1: need})
+	n.bottomHalf(env)
+	return nil
+}
+
+// Poll runs the protocol's local actions (the bottom half of the repeat
+// loop): entering the critical section when enough tokens are reserved,
+// releasing tokens when the application has finished, and forwarding a held
+// priority token once no longer needed. Runtimes call it after every
+// delivered message and whenever the application's ReleaseCS answer may have
+// changed.
+func (n *Node) Poll(env Env) { n.bottomHalf(env) }
+
+// bottomHalf implements Algorithm 1 lines 78-98 / Algorithm 2 lines 62-76.
+func (n *Node) bottomHalf(env Env) {
+	// Enter the critical section when the request is covered.
+	if n.state == Req && len(n.rset) >= n.need {
+		n.state = In
+		n.emit(Event{Kind: EvEnterCS, N1: n.need, N2: len(n.rset)})
+		n.app.EnterCS()
+	}
+	// Release every reserved token once the critical section is done.
+	if n.state == In && n.app.ReleaseCS() {
+		released := len(n.rset)
+		n.releaseAll(env)
+		n.state = Out
+		n.need = 0
+		n.emit(Event{Kind: EvExitCS, N1: released})
+	}
+	// Forward the priority token unless it shields an unsatisfied request.
+	if n.prio != NoPrio && (n.state != Req || len(n.rset) >= n.need) {
+		n.forwardPrio(env, n.prio)
+		n.prio = NoPrio
+		n.emit(Event{Kind: EvPrioRelease})
+	}
+}
+
+// releaseAll retransmits every reserved token along the virtual ring,
+// counting ring-START crossings at the root, and empties RSet.
+func (n *Node) releaseAll(env Env) {
+	for _, i := range n.rset {
+		n.forwardRes(env, i)
+	}
+	n.rset = n.rset[:0]
+}
+
+// forwardRes sends a resource token that arrived from channel i onward to
+// channel i+1 (mod ∆p); at the root a token leaving for channel 0 crossed
+// the ring START and is counted in SToken.
+func (n *Node) forwardRes(env Env, i int) {
+	if n.isRoot && i == n.deg-1 {
+		n.stoken = min(n.stoken+1, n.cfg.L+1)
+	}
+	env.Send((i+1)%n.deg, message.NewRes())
+}
+
+// forwardPrio likewise for the priority token (root counts into SPrio).
+func (n *Node) forwardPrio(env Env, i int) {
+	if n.isRoot && i == n.deg-1 {
+		n.sprio = min(n.sprio+1, 2)
+	}
+	env.Send((i+1)%n.deg, message.NewPrio())
+}
+
+// forwardPush likewise for the pusher token (root counts into SPush).
+func (n *Node) forwardPush(env Env, i int) {
+	if n.isRoot && i == n.deg-1 {
+		n.spush = min(n.spush+1, 2)
+	}
+	env.Send((i+1)%n.deg, message.NewPush())
+}
+
+// multiplicity returns |RSet|_q: how many reserved tokens arrived from q.
+func (n *Node) multiplicity(q int) int {
+	c := 0
+	for _, i := range n.rset {
+		if i == q {
+			c++
+		}
+	}
+	return c
+}
+
+// String summarizes the node state for traces and test failures.
+func (n *Node) String() string {
+	role := "node"
+	if n.isRoot {
+		role = "root"
+	}
+	return fmt.Sprintf("%s%d{%v need=%d |RSet|=%d prio=%d myC=%d succ=%d}",
+		role, n.id, n.state, n.need, len(n.rset), n.prio, n.myC, n.succ)
+}

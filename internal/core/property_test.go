@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kofl/internal/message"
+)
+
+// countingEnv tallies outgoing messages by kind.
+type countingEnv struct {
+	mockEnv
+	outRes, outPush, outPrio, outCtrl int
+}
+
+func (e *countingEnv) Send(ch int, m message.Message) {
+	e.mockEnv.Send(ch, m)
+	switch m.Kind {
+	case message.Res:
+		e.outRes++
+	case message.Push:
+		e.outPush++
+	case message.Prio:
+		e.outPrio++
+	case message.Ctrl:
+		e.outCtrl++
+	}
+}
+
+// randomMsg draws an arbitrary protocol message for a node of config c.
+func randomMsg(rng *rand.Rand, c Config) message.Message {
+	return message.Random(rng, c.CounterMod(), c.L)
+}
+
+// TestNodeNeverPanicsUnderStorm: any sequence of messages on any channel,
+// interleaved with app requests/polls and timeouts, in any variant and from
+// any restored state, must be handled without panic, and every outgoing
+// channel index must be valid.
+func TestNodeNeverPanicsUnderStorm(t *testing.T) {
+	check := func(seed int64, degSel, kSel, lSel uint8, isRoot bool, featSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + int(lSel)%5
+		k := 1 + int(kSel)%l
+		deg := 1 + int(degSel)%5
+		feats := []Features{Naive(), PusherOnly(), NonStabilizing(), Full()}
+		c := Config{K: k, L: l, N: 8, CMAX: 4, Features: feats[featSel%4]}
+		app := &mockApp{}
+		n := MustNewNode(c, 1, deg, isRoot, app)
+		// Arbitrary initial state.
+		n.Restore(Snapshot{
+			State: State(rng.Intn(3)), Need: rng.Intn(k + 1),
+			MyC: rng.Intn(c.CounterMod()), Succ: rng.Intn(deg),
+			RSet: []int{rng.Intn(deg), rng.Intn(deg)}, Prio: rng.Intn(deg+1) - 1,
+			Reset: rng.Intn(2) == 0, SToken: rng.Intn(l + 2),
+			SPrio: rng.Intn(3), SPush: rng.Intn(3),
+		})
+		env := &countingEnv{}
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				if n.State() == Out {
+					if err := n.Request(env, rng.Intn(k+1)); err != nil {
+						return false
+					}
+				}
+			case 1:
+				app.inCS = false
+				n.Poll(env)
+			case 2:
+				n.HandleTimeout(env)
+			default:
+				n.HandleMessage(rng.Intn(deg), randomMsg(rng, c), env)
+			}
+			// Bounded-variable invariants must hold at every point.
+			if n.Reserved() > k {
+				t.Logf("reserved %d > k", n.Reserved())
+				return false
+			}
+			if n.MyC() < 0 || n.MyC() >= c.CounterMod() {
+				t.Logf("myC %d out of domain", n.MyC())
+				return false
+			}
+			if n.Succ() < 0 || n.Succ() >= deg {
+				t.Logf("succ %d out of range", n.Succ())
+				return false
+			}
+			if p := n.Prio(); p != NoPrio && (p < 0 || p >= deg) {
+				t.Logf("prio %d out of range", p)
+				return false
+			}
+		}
+		for _, s := range env.sends {
+			if s.ch < 0 || s.ch >= deg {
+				t.Logf("send on channel %d of %d", s.ch, deg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNodeTokenConservation: at a NON-ROOT node in a fault-free state,
+// resource tokens are conserved exactly: tokens in = tokens out + growth of
+// the reservation multiset. (The root intentionally creates and destroys.)
+func TestNodeTokenConservation(t *testing.T) {
+	check := func(seed int64, degSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + int(degSel)%5
+		c := Config{K: 3, L: 5, N: 8, CMAX: 4, Features: Full()}
+		app := &mockApp{}
+		n := MustNewNode(c, 1, deg, false, app)
+		env := &countingEnv{}
+		inRes := 0
+		for i := 0; i < 400; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				if n.State() == Out {
+					_ = n.Request(env, 1+rng.Intn(3))
+				}
+			case 1:
+				app.inCS = false
+				n.Poll(env)
+			case 2:
+				n.HandleMessage(rng.Intn(deg), message.NewPush(), env)
+			case 3:
+				n.HandleMessage(rng.Intn(deg), message.NewPrio(), env)
+			default:
+				inRes++
+				n.HandleMessage(rng.Intn(deg), message.NewRes(), env)
+			}
+			if inRes != env.outRes+n.Reserved() {
+				t.Logf("step %d: in=%d out=%d reserved=%d", i, inRes, env.outRes, n.Reserved())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNonRootPrioConservation: priority tokens at a non-root are likewise
+// conserved (in = out + held).
+func TestNonRootPrioConservation(t *testing.T) {
+	check := func(seed int64, degSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + int(degSel)%4
+		c := Config{K: 2, L: 3, N: 8, CMAX: 4, Features: Full()}
+		app := &mockApp{}
+		n := MustNewNode(c, 1, deg, false, app)
+		env := &countingEnv{}
+		inPrio := 0
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				if n.State() == Out {
+					_ = n.Request(env, 1+rng.Intn(2))
+				}
+			case 1:
+				app.inCS = false
+				n.Poll(env)
+			case 2:
+				inPrio++
+				n.HandleMessage(rng.Intn(deg), message.NewPrio(), env)
+			default:
+				n.HandleMessage(rng.Intn(deg), message.NewRes(), env)
+			}
+			held := 0
+			if n.HoldsPrio() {
+				held = 1
+			}
+			if inPrio != env.outPrio+held {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNonRootCtrlEmitsAtMostOnePerDelivery: a non-root process forwards at
+// most one controller message per received controller (no amplification,
+// which would flood the network).
+func TestNonRootCtrlNoAmplification(t *testing.T) {
+	check := func(seed int64, degSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := 1 + int(degSel)%5
+		c := Config{K: 1, L: 1, N: 8, CMAX: 4, Features: Full()}
+		n := MustNewNode(c, 1, deg, false, &mockApp{})
+		for i := 0; i < 200; i++ {
+			env := &countingEnv{}
+			n.HandleMessage(rng.Intn(deg), message.NewCtrl(rng.Intn(c.CounterMod()), rng.Intn(2) == 0, rng.Intn(3), rng.Intn(3)), env)
+			if env.outCtrl > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

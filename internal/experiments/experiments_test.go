@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuick regenerates every experiment in quick mode and logs the
+// tables; per-experiment assertions live in the dedicated tests below and in
+// the package tests of the modules involved.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	for _, tb := range All(7, true) {
+		t.Logf("\n%s", tb)
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", tb.ID)
+		}
+		for _, n := range tb.Notes {
+			if strings.Contains(n, "WARNING") {
+				t.Errorf("%s: %s", tb.ID, n)
+			}
+		}
+	}
+}

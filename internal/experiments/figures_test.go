@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// cell returns row r, column named col of the table.
+func cell(t *testing.T, tb *Table, r int, col string) string {
+	t.Helper()
+	for i, c := range tb.Cols {
+		if c == col {
+			if r >= len(tb.Rows) {
+				t.Fatalf("%s: row %d missing", tb.ID, r)
+			}
+			return tb.Rows[r][i]
+		}
+	}
+	t.Fatalf("%s: no column %q (have %v)", tb.ID, col, tb.Cols)
+	return ""
+}
+
+// rowByFirst returns the first row whose leading cells match the given
+// prefix values.
+func rowByFirst(t *testing.T, tb *Table, prefix ...string) []string {
+	t.Helper()
+outer:
+	for _, r := range tb.Rows {
+		for i, want := range prefix {
+			if r[i] != want {
+				continue outer
+			}
+		}
+		return r
+	}
+	t.Fatalf("%s: no row with prefix %v", tb.ID, prefix)
+	return nil
+}
+
+func col(t *testing.T, tb *Table, name string) int {
+	t.Helper()
+	for i, c := range tb.Cols {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: no column %q", tb.ID, name)
+	return -1
+}
+
+func TestFig1Assertions(t *testing.T) {
+	tb := Fig1(7, true)
+	for r := range tb.Rows {
+		if got := cell(t, tb, r, "order-violations"); got != "0" {
+			t.Errorf("row %d: %s order violations", r, got)
+		}
+	}
+	foundMatch := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "matches Figure 4: true") {
+			foundMatch = true
+		}
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("note: %s", n)
+		}
+	}
+	if !foundMatch {
+		t.Error("paper-tree visit sequence did not match Figure 4")
+	}
+}
+
+func TestFig2Assertions(t *testing.T) {
+	tb := Fig2(7)
+	naive := rowByFirst(t, tb, "naive")
+	if naive[col(t, tb, "deadlocked")] != "true" {
+		t.Error("naive variant did not deadlock")
+	}
+	if got := naive[col(t, tb, "final RSet a/b/c/d")]; got != "2/1/1/1" {
+		t.Errorf("naive blocked RSets = %s, want the figure's 2/1/1/1", got)
+	}
+	if got := naive[col(t, tb, "satisfied")]; got != "0/4" {
+		t.Errorf("naive satisfied = %s", got)
+	}
+	for _, v := range []string{"pusher", "full"} {
+		row := rowByFirst(t, tb, v)
+		if row[col(t, tb, "deadlocked")] != "false" || row[col(t, tb, "satisfied")] != "4/4" {
+			t.Errorf("%s variant: %v", v, row)
+		}
+	}
+}
+
+func TestFig3Assertions(t *testing.T) {
+	tb := Fig3(7)
+	script := rowByFirst(t, tb, "pusher-only", "Fig3 script")
+	if script[col(t, tb, "a starved")] != "true" {
+		t.Error("scripted livelock did not starve a")
+	}
+	if script[col(t, tb, "a enters")] != "0" {
+		t.Errorf("a entered %s times under the script", script[col(t, tb, "a enters")])
+	}
+	full := rowByFirst(t, tb, "full", "anti-a rules")
+	if full[col(t, tb, "a starved")] != "false" {
+		t.Error("full protocol starved a under the rule adversary")
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("note: %s", n)
+		}
+	}
+}
+
+func TestFig4Assertions(t *testing.T) {
+	tb := Fig4(true)
+	for r := range tb.Rows {
+		if cell(t, tb, r, "edges-once") != "true" || cell(t, tb, r, "closes-at-root") != "true" {
+			t.Errorf("row %v: ring property violated", tb.Rows[r])
+		}
+		if cell(t, tb, r, "ring-len") != cell(t, tb, r, "2(n-1)") {
+			t.Errorf("row %v: ring length mismatch", tb.Rows[r])
+		}
+	}
+}

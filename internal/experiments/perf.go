@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kofl/internal/checker"
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// Throughput (P1) measures critical-section grants per 10⁴ scheduler steps
+// across topology, n and ℓ — the protocol's capacity shape: more tokens mean
+// more simultaneous grants until the ring latency dominates; deeper trees
+// pay longer token round-trips.
+func Throughput(seed int64, quick bool) *Table {
+	tb := &Table{
+		ID:    "P1",
+		Title: "throughput: grants per 10k steps (saturated, hold=0)",
+		Cols:  []string{"topology", "n", "k", "ℓ", "grants", "grants/10k", "res-msgs/grant"},
+	}
+	ns := []int{8, 16, 32, 64}
+	ls := []int{1, 3, 5, 9}
+	if quick {
+		ns = []int{8, 16}
+		ls = []int{1, 5}
+	}
+	steps := int64(200_000)
+	if quick {
+		steps = 80_000
+	}
+	for _, n := range ns {
+		for _, l := range ls {
+			for _, top := range SweepTopologies([]int{n}) {
+				tr := top.Build()
+				k := min(2, l)
+				s := newSim(tr, k, l, 2, core.Full(), seed, nil)
+				grants := checker.NewGrants(s)
+				for p := 0; p < tr.N(); p++ {
+					workload.Attach(s, p, workload.Fixed(1+p%k, 0, 0, 0))
+				}
+				s.Run(steps)
+				total := grants.Total()
+				perGrant := float64(0)
+				if total > 0 {
+					perGrant = float64(s.Delivered[message.Res]) / float64(total)
+				}
+				tb.Add(top.Name, n, k, l, total,
+					float64(total)/float64(steps)*10_000, perGrant)
+			}
+		}
+	}
+	tb.Note("shape: grants grow with ℓ and shrink with n (ring latency 2(n-1))")
+	return tb
+}
+
+// ControlOverhead (P2) measures the controller's cost and the timeout's
+// effect: controller deliveries per grant, timeouts fired and resets caused,
+// sweeping the retransmission timeout. Too small a timeout violates the
+// paper's footnote-4 assumption: duplicate controllers corrupt counts and
+// force spurious resets — visible in the reset column.
+func ControlOverhead(seed int64, quick bool) *Table {
+	tb := &Table{
+		ID:    "P2",
+		Title: "control overhead vs retransmission timeout (paper tree, ℓ=5, k=3)",
+		Cols: []string{"timeout", "x-default", "ctrl-msgs/grant", "timeouts",
+			"resets", "grants"},
+	}
+	tr := tree.Paper()
+	def := sim.DefaultTimeoutTicks(tr.RingLen(), 5)
+	muls := []float64{0.002, 0.01, 0.05, 0.25, 1, 4}
+	if quick {
+		muls = []float64{0.01, 1}
+	}
+	steps := int64(300_000)
+	if quick {
+		steps = 100_000
+	}
+	for _, m := range muls {
+		timeout := int64(float64(def) * m)
+		if timeout < 1 {
+			timeout = 1
+		}
+		cfg := config(tr, 3, 5, 4, core.Full())
+		s := sim.MustNew(tr, cfg, sim.Options{Seed: seed, TimeoutTicks: timeout})
+		grants := checker.NewGrants(s)
+		circ := checker.NewCirculations(s)
+		for p := 0; p < tr.N(); p++ {
+			workload.Attach(s, p, workload.Fixed(1+p%3, 3, 6, 0))
+		}
+		s.Run(steps)
+		perGrant := float64(0)
+		if grants.Total() > 0 {
+			perGrant = float64(s.Delivered[message.Ctrl]) / float64(grants.Total())
+		}
+		tb.Add(timeout, fmt.Sprintf("%.2f", m), perGrant, circ.Timeouts,
+			circ.Resets, grants.Total())
+	}
+	tb.Note("paper footnote 4: the timeout must be large enough to prevent congestion")
+	return tb
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestConvergenceAssertions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := Convergence(7, true)
+	for _, row := range tb.Rows {
+		conv := row[col(t, tb, "converged")]
+		parts := strings.Split(conv, "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("row %v: not all trials converged (%s)", row, conv)
+		}
+	}
+}
+
+func TestWaitingTimeBoundHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := WaitingTime(7, true)
+	for _, row := range tb.Rows {
+		max, err1 := strconv.ParseInt(row[col(t, tb, "wait max")], 10, 64)
+		bound, err2 := strconv.ParseInt(row[col(t, tb, "bound")], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %v: unparsable", row)
+		}
+		if max > bound {
+			t.Errorf("row %v: waiting %d exceeds Theorem 2 bound %d", row, max, bound)
+		}
+		if max <= 0 {
+			t.Errorf("row %v: no contention measured", row)
+		}
+	}
+	// Shape: the measured max for (chain, k=1, ℓ=1) grows with n.
+	var prev int64 = -1
+	for _, row := range tb.Rows {
+		if !strings.HasPrefix(row[0], "chain-") || row[col(t, tb, "k")] != "1" {
+			continue
+		}
+		max, _ := strconv.ParseInt(row[col(t, tb, "wait max")], 10, 64)
+		if prev > 0 && max < prev {
+			t.Errorf("waiting max shrank with n: %d after %d", max, prev)
+		}
+		prev = max
+	}
+}
+
+func TestLivenessAllServed(t *testing.T) {
+	tb := Liveness(7)
+	for _, row := range tb.Rows {
+		served := row[col(t, tb, "served")]
+		parts := strings.Split(served, "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("scenario %q: served %s", row[0], served)
+		}
+	}
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("note: %s", n)
+		}
+	}
+}
+
+func TestAblationPusherGuardContrast(t *testing.T) {
+	tb := AblationPusherGuard(7)
+	prose := rowByFirst(t, tb, "pusher", "prose (Prio=⊥)")
+	literal := rowByFirst(t, tb, "pusher", "literal (Prio≠⊥)")
+	if prose[col(t, tb, "satisfied")] != "4/4" {
+		t.Errorf("prose guard: %v", prose)
+	}
+	if literal[col(t, tb, "satisfied")] != "0/4" {
+		t.Errorf("literal guard should leave the deadlock: %v", literal)
+	}
+	if literal[col(t, tb, "stuck-units a/b/c/d")] != "2/1/1/1" {
+		t.Errorf("literal guard stuck units: %v", literal)
+	}
+}
+
+func TestAblationCountOrderContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long ablation")
+	}
+	tb := AblationCountOrder(7, true)
+	corrected := rowByFirst(t, tb, "corrected")
+	paper := rowByFirst(t, tb, "paper")
+	if corrected[col(t, tb, "resets")] != "0" {
+		t.Errorf("corrected order reset: %v", corrected)
+	}
+	pResets, _ := strconv.Atoi(paper[col(t, tb, "resets")])
+	if pResets == 0 {
+		t.Errorf("paper order produced no spurious resets: %v", paper)
+	}
+	cCreated, _ := strconv.Atoi(corrected[col(t, tb, "res-created")])
+	pCreated, _ := strconv.Atoi(paper[col(t, tb, "res-created")])
+	if cCreated != 5 {
+		t.Errorf("corrected created %d tokens, want exactly the ℓ=5 bootstrap", cCreated)
+	}
+	if pCreated <= cCreated {
+		t.Errorf("paper order created %d ≤ corrected %d", pCreated, cCreated)
+	}
+}
+
+func TestAblationVariantsLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long ablation")
+	}
+	tb := AblationVariants(7)
+	naive := rowByFirst(t, tb, "naive")
+	if naive[col(t, tb, "deadlocked")] != "true" {
+		t.Errorf("naive rung did not deadlock: %v", naive)
+	}
+	for _, v := range []string{"pusher", "pusher+prio", "full"} {
+		row := rowByFirst(t, tb, v)
+		if row[col(t, tb, "deadlocked")] != "false" {
+			t.Errorf("%s rung deadlocked: %v", v, row)
+		}
+		if row[col(t, tb, "starved")] != "0" {
+			t.Errorf("%s rung starved someone: %v", v, row)
+		}
+	}
+}
+
+func TestAblationCMAXConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long ablation")
+	}
+	tb := AblationCMAX(7, true)
+	for _, row := range tb.Rows {
+		conv := row[col(t, tb, "converged")]
+		parts := strings.Split(conv, "/")
+		if parts[0] != parts[1] {
+			t.Errorf("row %v: convergence rate %s (random garbage should not defeat counter flushing)", row, conv)
+		}
+	}
+}
+
+func TestExtensionAssertions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := Extension(7, true)
+	if len(tb.Rows) < 4 {
+		t.Fatalf("only %d meshes", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[col(t, tb, "height=BFS")] != "true" {
+			t.Errorf("%s: extracted tree not BFS-optimal", row[0])
+		}
+		if row[col(t, tb, "excl-converged")] != "true" {
+			t.Errorf("%s: exclusion layer did not converge", row[0])
+		}
+		if row[col(t, tb, "starved")] != "0" {
+			t.Errorf("%s: starvation on the composed system", row[0])
+		}
+	}
+}
+
+func TestThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := Throughput(7, true)
+	// More tokens, more throughput: for each (topology, n), grants at ℓ=5
+	// must exceed grants at ℓ=1.
+	type key struct{ topo, n string }
+	byL := map[key]map[string]int64{}
+	for _, row := range tb.Rows {
+		k := key{row[0], row[1]}
+		if byL[k] == nil {
+			byL[k] = map[string]int64{}
+		}
+		g, _ := strconv.ParseInt(row[col(t, tb, "grants")], 10, 64)
+		byL[k][row[col(t, tb, "ℓ")]] = g
+	}
+	for k, m := range byL {
+		if m["5"] > 0 && m["1"] > 0 && m["5"] <= m["1"] {
+			t.Errorf("%v: grants ℓ=5 (%d) ≤ ℓ=1 (%d)", k, m["5"], m["1"])
+		}
+	}
+}
+
+func TestControlOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := ControlOverhead(7, true)
+	// Smaller timeout → at least as many spurious timeouts.
+	var prevTimeouts int64 = 1 << 62
+	for _, row := range tb.Rows {
+		to, _ := strconv.ParseInt(row[col(t, tb, "timeouts")], 10, 64)
+		if to > prevTimeouts {
+			t.Errorf("timeouts increased with a larger timeout: %v", tb.Rows)
+		}
+		prevTimeouts = to
+	}
+}
+
+func TestAvailabilityDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := Availability(7, true)
+	if len(tb.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	// The fault-free row has availability 1.00 and zero resets.
+	free := rowByFirst(t, tb, "none")
+	if free[col(t, tb, "availability")] != "1.00" || free[col(t, tb, "resets")] != "0" {
+		t.Errorf("fault-free row: %v", free)
+	}
+	// Every stormy row keeps availability above 0.5 — faults are repaired,
+	// not fatal.
+	for _, row := range tb.Rows[1:] {
+		av, err := strconv.ParseFloat(row[col(t, tb, "availability")], 64)
+		if err != nil || av < 0.5 {
+			t.Errorf("row %v: availability %v", row, row[col(t, tb, "availability")])
+		}
+	}
+}
+
+func TestBaselineRingComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := Baseline(7, true)
+	// Pair up ring and tree rows per n; the ring's loop is shorter and its
+	// measured worst wait must not exceed the tree's.
+	for i := 0; i+1 < len(tb.Rows); i += 2 {
+		ringRow, treeRow := tb.Rows[i], tb.Rows[i+1]
+		if ringRow[0] != "ring" || treeRow[0] != "tree-chain" {
+			t.Fatalf("unexpected row order: %v / %v", ringRow, treeRow)
+		}
+		rw, _ := strconv.ParseInt(ringRow[col(t, tb, "max-wait")], 10, 64)
+		tw, _ := strconv.ParseInt(treeRow[col(t, tb, "max-wait")], 10, 64)
+		if rw > tw {
+			t.Errorf("n=%s: ring waited longer (%d) than tree (%d)", ringRow[1], rw, tw)
+		}
+		rg, _ := strconv.ParseInt(ringRow[col(t, tb, "grants")], 10, 64)
+		tg, _ := strconv.ParseInt(treeRow[col(t, tb, "grants")], 10, 64)
+		if rg == 0 || tg == 0 {
+			t.Errorf("n=%s: no service (ring %d, tree %d)", ringRow[1], rg, tg)
+		}
+	}
+}
+
+func TestWaitingAdversarialBoundStillHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	tb := WaitingTimeAdversarial(7, true)
+	for _, row := range tb.Rows {
+		max, _ := strconv.ParseInt(row[col(t, tb, "wait max")], 10, 64)
+		bound, _ := strconv.ParseInt(row[col(t, tb, "bound")], 10, 64)
+		if max > bound {
+			t.Errorf("row %v: adversarial waiting %d exceeds bound %d", row, max, bound)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package graph provides the general rooted networks of the paper's §5
+// extension: "solutions on the oriented tree can be directly mapped to
+// solutions for arbitrary rooted networks by composing the protocol with a
+// spanning tree construction". The spanning-tree layer (internal/spantree)
+// runs on these graphs and extracts the oriented tree the exclusion protocol
+// needs.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected connected graph over nodes 0..N()-1 with node 0 as
+// the distinguished root. Each node numbers its incident edges with local
+// ports 0..deg-1, mirroring the channel labeling of the tree model.
+type Graph struct {
+	adj [][]int // adj[u] = neighbor ids in port order
+}
+
+// New builds a graph from an edge list; it validates connectivity and
+// rejects self-loops and duplicate edges.
+func New(n int, edges [][2]int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: need at least 2 nodes, got %d", n)
+	}
+	g := &Graph{adj: make([][]int, n)}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range", u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+		seen[key] = true
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
+	}
+	if !g.connected() {
+		return nil, fmt.Errorf("graph: not connected")
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(n int, edges [][2]int) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Root returns the distinguished root (always 0).
+func (g *Graph) Root() int { return 0 }
+
+// Degree returns the number of ports of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbor returns the node at the far end of u's port p.
+func (g *Graph) Neighbor(u, p int) int { return g.adj[u][p] }
+
+// PortTo returns u's port leading to neighbor v; it panics if v is not a
+// neighbor of u.
+func (g *Graph) PortTo(u, v int) int {
+	for p, w := range g.adj[u] {
+		if w == v {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("graph: %d is not a neighbor of %d", v, u))
+}
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	sum := 0
+	for _, a := range g.adj {
+		sum += len(a)
+	}
+	return sum / 2
+}
+
+func (g *Graph) connected() bool {
+	seen := make([]bool, g.N())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// BFSDistances returns the true hop distances from the root — the optimum a
+// BFS spanning tree must achieve.
+func (g *Graph) BFSDistances() []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Ring returns a cycle of n nodes.
+func Ring(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return MustNew(n, edges)
+}
+
+// Grid returns a w×h grid (nodes numbered row-major, root at a corner).
+func Grid(w, h int) *Graph {
+	var edges [][2]int
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, [2]int{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	return MustNew(w*h, edges)
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// RandomConnected returns a random connected graph: a uniform random
+// recursive tree plus `extra` additional random non-duplicate edges.
+func RandomConnected(n, extra int, rng *rand.Rand) *Graph {
+	var edges [][2]int
+	seen := map[[2]int]bool{}
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		edges = append(edges, [2]int{u, v})
+		return true
+	}
+	for v := 1; v < n; v++ {
+		add(rng.Intn(v), v)
+	}
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	for added := 0; added < extra; {
+		if add(rng.Intn(n), rng.Intn(n)) {
+			added++
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.Edges())
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"too-small", 1, nil},
+		{"disconnected", 4, [][2]int{{0, 1}, {2, 3}}},
+		{"no-edges", 3, nil},
+		{"self-loop", 3, [][2]int{{0, 1}, {1, 2}, {2, 2}}},
+		{"duplicate", 3, [][2]int{{0, 1}, {1, 0}, {1, 2}}},
+		{"out-of-range", 3, [][2]int{{0, 1}, {1, 5}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.n, tc.edges); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g.N() != 4 || g.Root() != 0 || g.Edges() != 4 {
+		t.Errorf("N=%d root=%d m=%d", g.N(), g.Root(), g.Edges())
+	}
+	for u := 0; u < 4; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("Degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	// PortTo inverts Neighbor.
+	for u := 0; u < 4; u++ {
+		for p := 0; p < g.Degree(u); p++ {
+			v := g.Neighbor(u, p)
+			if g.Neighbor(v, g.PortTo(v, u)) != u {
+				t.Errorf("port inversion broken at %d:%d", u, p)
+			}
+		}
+	}
+}
+
+func TestPortToPanics(t *testing.T) {
+	g := Ring(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("PortTo(non-neighbor) did not panic")
+		}
+	}()
+	g.PortTo(0, 2)
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Ring(6); g.N() != 6 || g.Edges() != 6 {
+		t.Errorf("Ring: %v", g)
+	}
+	if g := Grid(3, 4); g.N() != 12 || g.Edges() != 3*3+2*4 {
+		t.Errorf("Grid: %v (m=%d)", g, g.Edges())
+	}
+	if g := Complete(5); g.Edges() != 10 {
+		t.Errorf("Complete: %v", g)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Ring of 6: distances 0 1 2 3 2 1.
+	g := Ring(6)
+	want := []int{0, 1, 2, 3, 2, 1}
+	got := g.BFSDistances()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Grid corner distances are Manhattan distances.
+	grid := Grid(3, 3)
+	d := grid.BFSDistances()
+	if d[8] != 4 || d[4] != 2 {
+		t.Errorf("grid distances: %v", d)
+	}
+}
+
+func TestRandomConnectedProperties(t *testing.T) {
+	check := func(seed int64, nSel, extraSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nSel)%40
+		extra := int(extraSel) % 30
+		g := RandomConnected(n, extra, rng)
+		if g.N() != n {
+			return false
+		}
+		// Always at least the spanning edges; never more than complete.
+		if g.Edges() < n-1 || g.Edges() > n*(n-1)/2 {
+			return false
+		}
+		// Connectivity is validated by construction; all distances defined.
+		for _, d := range g.BFSDistances() {
+			if d < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomConnectedExtraCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomConnected(4, 1000, rng)
+	if g.Edges() != 6 {
+		t.Errorf("edges = %d, want complete graph 6", g.Edges())
+	}
+}

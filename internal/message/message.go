@@ -1,0 +1,105 @@
+// Package message defines the four message types exchanged by the protocol
+// and a compact wire format for them.
+//
+// The paper's messages are ⟨ResT⟩, ⟨PushT⟩, ⟨PrioT⟩ and
+// ⟨ctrl, C, R, PT, PPr⟩. Only the controller carries values: the counter-
+// flushing flag C, the reset flag R, and the two bounded "passed token"
+// counters PT (resource tokens, saturating at ℓ+1) and PPr (priority tokens,
+// saturating at 2).
+package message
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind identifies a message type.
+type Kind uint8
+
+const (
+	// Res is a resource token ⟨ResT⟩: one unit of the shared resource.
+	Res Kind = iota + 1
+	// Push is the pusher token ⟨PushT⟩: evicts reservations of processes
+	// that are not in (or entering) their critical section.
+	Push
+	// Prio is the priority token ⟨PrioT⟩: shields its holder from the pusher.
+	Prio
+	// Ctrl is the controller ⟨ctrl,C,R,PT,PPr⟩: the counter-flushing
+	// snapshot/reset token.
+	Ctrl
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Res:
+		return "ResT"
+	case Push:
+		return "PushT"
+	case Prio:
+		return "PrioT"
+	case Ctrl:
+		return "ctrl"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the four protocol kinds.
+func (k Kind) Valid() bool { return k >= Res && k <= Ctrl }
+
+// Message is one protocol message. The C/R/PT/PPr fields are meaningful only
+// when Kind == Ctrl and are zero otherwise.
+type Message struct {
+	Kind Kind
+	C    int  // counter-flushing flag myC ∈ [0 .. 2(n-1)(CMAX+1)]
+	R    bool // reset flag
+	PT   int  // passed resource tokens ∈ [0 .. ℓ+1]
+	PPr  int  // passed priority tokens ∈ [0 .. 2]
+}
+
+// NewRes returns a resource token.
+func NewRes() Message { return Message{Kind: Res} }
+
+// NewPush returns a pusher token.
+func NewPush() Message { return Message{Kind: Push} }
+
+// NewPrio returns a priority token.
+func NewPrio() Message { return Message{Kind: Prio} }
+
+// NewCtrl returns a controller message with the given fields.
+func NewCtrl(c int, r bool, pt, ppr int) Message {
+	return Message{Kind: Ctrl, C: c, R: r, PT: pt, PPr: ppr}
+}
+
+// IsToken reports whether m is one of the three circulating resource-layer
+// tokens (everything but the controller).
+func (m Message) IsToken() bool { return m.Kind == Res || m.Kind == Push || m.Kind == Prio }
+
+// String renders the message as in the paper.
+func (m Message) String() string {
+	if m.Kind == Ctrl {
+		r := 0
+		if m.R {
+			r = 1
+		}
+		return fmt.Sprintf("⟨ctrl,%d,%d,%d,%d⟩", m.C, r, m.PT, m.PPr)
+	}
+	return "⟨" + m.Kind.String() + "⟩"
+}
+
+// Random returns an arbitrary syntactically valid message, as left in
+// channels by transient faults. cMod bounds the C field (the myC domain
+// size), lMax the PT field (ℓ+1).
+func Random(rng *rand.Rand, cMod, lMax int) Message {
+	switch Kind(rng.Intn(4)) + Res {
+	case Res:
+		return NewRes()
+	case Push:
+		return NewPush()
+	case Prio:
+		return NewPrio()
+	default:
+		return NewCtrl(rng.Intn(cMod), rng.Intn(2) == 0, rng.Intn(lMax+1), rng.Intn(3))
+	}
+}

@@ -1,0 +1,199 @@
+package message
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Res:     "ResT",
+		Push:    "PushT",
+		Prio:    "PrioT",
+		Ctrl:    "ctrl",
+		Kind(0): "Kind(0)",
+		Kind(9): "Kind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := Kind(0); k < 8; k++ {
+		want := k >= Res && k <= Ctrl
+		if got := k.Valid(); got != want {
+			t.Errorf("Kind(%d).Valid() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if m := NewRes(); m.Kind != Res || !m.IsToken() {
+		t.Errorf("NewRes = %+v", m)
+	}
+	if m := NewPush(); m.Kind != Push || !m.IsToken() {
+		t.Errorf("NewPush = %+v", m)
+	}
+	if m := NewPrio(); m.Kind != Prio || !m.IsToken() {
+		t.Errorf("NewPrio = %+v", m)
+	}
+	m := NewCtrl(7, true, 3, 1)
+	if m.Kind != Ctrl || m.C != 7 || !m.R || m.PT != 3 || m.PPr != 1 {
+		t.Errorf("NewCtrl = %+v", m)
+	}
+	if m.IsToken() {
+		t.Error("ctrl must not be a resource-layer token")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := NewRes().String(); got != "⟨ResT⟩" {
+		t.Errorf("Res String = %q", got)
+	}
+	if got := NewCtrl(5, true, 2, 1).String(); got != "⟨ctrl,5,1,2,1⟩" {
+		t.Errorf("Ctrl String = %q", got)
+	}
+	if got := NewCtrl(0, false, 0, 0).String(); got != "⟨ctrl,0,0,0,0⟩" {
+		t.Errorf("Ctrl String = %q", got)
+	}
+}
+
+func TestRandomStaysInDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const cMod, lMax = 29, 5
+	for i := 0; i < 2000; i++ {
+		m := Random(rng, cMod, lMax)
+		if !m.Kind.Valid() {
+			t.Fatalf("invalid kind %d", m.Kind)
+		}
+		if m.Kind == Ctrl {
+			if m.C < 0 || m.C >= cMod {
+				t.Fatalf("C = %d outside [0,%d)", m.C, cMod)
+			}
+			if m.PT < 0 || m.PT > lMax {
+				t.Fatalf("PT = %d outside [0,%d]", m.PT, lMax)
+			}
+			if m.PPr < 0 || m.PPr > 2 {
+				t.Fatalf("PPr = %d outside [0,2]", m.PPr)
+			}
+		} else if m.C != 0 || m.R || m.PT != 0 || m.PPr != 0 {
+			t.Fatalf("token %v carries ctrl fields", m)
+		}
+	}
+}
+
+func TestRandomCoversAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := map[Kind]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[Random(rng, 10, 3).Kind] = true
+	}
+	for _, k := range []Kind{Res, Push, Prio, Ctrl} {
+		if !seen[k] {
+			t.Errorf("Random never produced %v", k)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	cases := []Message{
+		NewRes(), NewPush(), NewPrio(),
+		NewCtrl(0, false, 0, 0),
+		NewCtrl(12345, true, 6, 2),
+		NewCtrl(1<<20, false, 65535, 1),
+	}
+	for _, m := range cases {
+		frame := Encode(nil, m)
+		if len(frame) != FrameSize {
+			t.Fatalf("frame size %d, want %d", len(frame), FrameSize)
+		}
+		got, n, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", m, err)
+		}
+		if n != FrameSize {
+			t.Fatalf("Decode consumed %d bytes", n)
+		}
+		if got != m {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	check := func(kindSel uint8, c uint32, r bool, pt, ppr uint16) bool {
+		m := Message{Kind: Kind(kindSel%4) + Res}
+		if m.Kind == Ctrl {
+			m.C = int(c)
+			m.R = r
+			m.PT = int(pt)
+			m.PPr = int(ppr)
+		}
+		got, _, err := Decode(Encode(nil, m))
+		return err == nil && got == m
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsShortFrame(t *testing.T) {
+	if _, _, err := Decode(make([]byte, FrameSize-1)); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("nil frame accepted")
+	}
+}
+
+func TestDecodeRejectsBadChecksum(t *testing.T) {
+	frame := Encode(nil, NewCtrl(3, true, 1, 1))
+	frame[3] ^= 0xFF
+	if _, n, err := Decode(frame); err == nil {
+		t.Error("corrupted frame accepted")
+	} else if n != FrameSize {
+		t.Errorf("corrupted frame consumed %d bytes, want %d for resync", n, FrameSize)
+	}
+}
+
+func TestDecodeRejectsInvalidKind(t *testing.T) {
+	frame := Encode(nil, NewRes())
+	frame[0] = 0x7F
+	frame[10] = xorSum(frame[:10]) // fix checksum so only the kind is bad
+	if _, _, err := Decode(frame); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]byte, FrameSize)
+	accepted := 0
+	for i := 0; i < 50_000; i++ {
+		rng.Read(buf)
+		if _, _, err := Decode(buf); err == nil {
+			accepted++
+		}
+	}
+	// The 1-byte checksum plus kind check filters ~99.8% of random frames.
+	if accepted > 2000 {
+		t.Errorf("random frames accepted too often: %d/50000", accepted)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	buf := Encode(nil, NewRes())
+	buf = Encode(buf, NewPush())
+	if len(buf) != 2*FrameSize {
+		t.Fatalf("len = %d", len(buf))
+	}
+	m1, _, err1 := Decode(buf)
+	m2, _, err2 := Decode(buf[FrameSize:])
+	if err1 != nil || err2 != nil || m1.Kind != Res || m2.Kind != Push {
+		t.Errorf("append-encode framing broken: %v %v %v %v", m1, err1, m2, err2)
+	}
+}

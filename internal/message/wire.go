@@ -1,0 +1,73 @@
+package message
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format: a fixed 11-byte frame per message.
+//
+//	byte  0     kind
+//	bytes 1-4   C   (uint32, big endian)
+//	byte  5     R   (0/1)
+//	bytes 6-8   PT  (uint24 is overkill; we use uint16 padded) — see layout
+//
+// Concretely the layout is:
+//
+//	[0]   kind
+//	[1:5] C  uint32
+//	[5]   R
+//	[6:8] PT uint16
+//	[8:10] PPr uint16
+//	[10]  checksum (xor of bytes 0..9)
+//
+// The checksum models link-level integrity; Decode rejects frames whose
+// checksum fails, which the live runtime counts as channel corruption. Token
+// frames (Res/Push/Prio) still carry the full frame so that all frames are
+// the same size, simplifying the framing layer.
+const FrameSize = 11
+
+// Encode appends the wire frame of m to dst and returns the extended slice.
+func Encode(dst []byte, m Message) []byte {
+	var f [FrameSize]byte
+	f[0] = byte(m.Kind)
+	binary.BigEndian.PutUint32(f[1:5], uint32(m.C))
+	if m.R {
+		f[5] = 1
+	}
+	binary.BigEndian.PutUint16(f[6:8], uint16(m.PT))
+	binary.BigEndian.PutUint16(f[8:10], uint16(m.PPr))
+	f[10] = xorSum(f[:10])
+	return append(dst, f[:]...)
+}
+
+// Decode parses one frame from b. It returns the message and the number of
+// bytes consumed (FrameSize), or an error if the frame is malformed.
+func Decode(b []byte) (Message, int, error) {
+	if len(b) < FrameSize {
+		return Message{}, 0, fmt.Errorf("message: short frame (%d bytes)", len(b))
+	}
+	if got, want := xorSum(b[:10]), b[10]; got != want {
+		return Message{}, FrameSize, fmt.Errorf("message: checksum mismatch (got %#x want %#x)", got, want)
+	}
+	k := Kind(b[0])
+	if !k.Valid() {
+		return Message{}, FrameSize, fmt.Errorf("message: invalid kind %d", b[0])
+	}
+	m := Message{Kind: k}
+	if k == Ctrl {
+		m.C = int(binary.BigEndian.Uint32(b[1:5]))
+		m.R = b[5] == 1
+		m.PT = int(binary.BigEndian.Uint16(b[6:8]))
+		m.PPr = int(binary.BigEndian.Uint16(b[8:10]))
+	}
+	return m, FrameSize, nil
+}
+
+func xorSum(b []byte) byte {
+	var s byte
+	for _, x := range b {
+		s ^= x
+	}
+	return s
+}

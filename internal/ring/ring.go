@@ -1,0 +1,491 @@
+// Package ring implements the related-work baseline the paper builds on:
+// self-stabilizing token-based k-out-of-ℓ exclusion on a unidirectional
+// oriented ring (Datta, Hadid, Villain — references [2,3] of the paper —
+// with the controller technique of Hadid-Villain [8]).
+//
+// The mechanism mirrors the tree protocol with the topology degenerated:
+// every process has exactly one predecessor and one successor, so tokens
+// need no channel labels and the controller needs no Succ pointer — counter
+// flushing reduces to Varghese's original ring form. The root counts tokens
+// it forwards (SToken/SPrio/SPush: ring-START crossings) and tokens the
+// controller passes while parked (PT/PPr), tops up deficits and resets
+// excesses, exactly like Algorithm 1.
+//
+// The package exists as a comparative baseline: experiment B1 runs the same
+// workloads on a ring of n processes and on trees of n processes (whose
+// virtual ring has 2(n-1) positions) and compares service latency and
+// throughput.
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kofl/internal/message"
+)
+
+// Config parameterizes a ring system.
+type Config struct {
+	N    int // processes; process 0 is the root
+	K, L int // 1 ≤ K ≤ L
+	CMAX int // bound on initial garbage per channel
+	// TimeoutTicks is the root's retransmission timeout (0 = default).
+	TimeoutTicks int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("ring: need at least 2 processes, got %d", c.N)
+	}
+	if c.K < 1 || c.L < c.K {
+		return fmt.Errorf("ring: need 1 ≤ k ≤ ℓ, got k=%d ℓ=%d", c.K, c.L)
+	}
+	if c.CMAX < 0 {
+		return fmt.Errorf("ring: CMAX must be ≥ 0")
+	}
+	return nil
+}
+
+// CounterMod returns the counter-flushing domain size: the ring has n
+// channels each holding ≤ CMAX stale messages, so n(CMAX+1)+1 suffices.
+func (c Config) CounterMod() int { return c.N*(c.CMAX+1) + 1 }
+
+// State mirrors the paper's application interface.
+type State uint8
+
+// Application interface states.
+const (
+	Out State = iota
+	Req
+	In
+)
+
+// node is one ring process.
+type node struct {
+	state State
+	need  int
+	rset  int  // reserved resource tokens (no channel identity on a ring)
+	prio  bool // holding the priority token
+	myC   int
+
+	// Root only.
+	reset  bool
+	stoken int
+	sprio  int
+	spush  int
+}
+
+// app is the minimal cycling application: request need units, hold for
+// `hold` steps, think for `think`, repeat.
+type app struct {
+	need        int
+	hold, think int64
+	phase       State // Out: idle; Req: waiting; In: critical
+	enteredAt   int64
+	readyAt     int64
+	Grants      int64
+}
+
+// Sim is a deterministic ring simulation (structure mirrors internal/sim).
+type Sim struct {
+	Cfg   Config
+	nodes []node
+	apps  []*app
+	// queues[p]: FIFO channel INTO p (from its predecessor p-1 mod n).
+	queues [][]message.Message
+	clock  int64
+	rng    *rand.Rand
+
+	timeoutTicks int64
+	lastRestart  int64
+
+	// Metrics.
+	Steps       int64
+	Grants      []int64
+	totalEnters int64
+	waitingAt   []int64 // totalEnters snapshot at request time; -1 = none
+	MaxWaiting  int64
+	Resets      int64
+	Circs       int64
+	Timeouts    int64
+	CtrlMsgs    int64
+}
+
+// New builds a ring simulation with every process in the zero state and
+// empty channels; the controller bootstraps the tokens via the root timeout.
+func New(cfg Config, seed int64) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Cfg:          cfg,
+		nodes:        make([]node, cfg.N),
+		apps:         make([]*app, cfg.N),
+		queues:       make([][]message.Message, cfg.N),
+		rng:          rand.New(rand.NewSource(seed)),
+		timeoutTicks: cfg.TimeoutTicks,
+		Grants:       make([]int64, cfg.N),
+		waitingAt:    make([]int64, cfg.N),
+	}
+	if s.timeoutTicks <= 0 {
+		s.timeoutTicks = int64(16 * cfg.N * (cfg.L + 4))
+	}
+	for p := range s.waitingAt {
+		s.waitingAt[p] = -1
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, seed int64) *Sim {
+	s, err := New(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Saturate installs a cycling application at p.
+func (s *Sim) Saturate(p, need int, hold, think int64) {
+	s.apps[p] = &app{need: need, hold: hold, think: think}
+}
+
+// send enqueues m toward the successor of p.
+func (s *Sim) send(p int, m message.Message) {
+	succ := (p + 1) % s.Cfg.N
+	s.queues[succ] = append(s.queues[succ], m)
+	if m.Kind == message.Ctrl {
+		s.CtrlMsgs++
+	}
+}
+
+// enterCS moves p into its critical section.
+func (s *Sim) enterCS(p int) {
+	n := &s.nodes[p]
+	n.state = In
+	s.Grants[p]++
+	if at := s.waitingAt[p]; at >= 0 {
+		if w := s.totalEnters - at; w > s.MaxWaiting {
+			s.MaxWaiting = w
+		}
+		s.waitingAt[p] = -1
+	}
+	s.totalEnters++
+	if a := s.apps[p]; a != nil {
+		a.phase = In
+		a.enteredAt = s.clock
+		a.Grants++
+	}
+}
+
+// bottomHalf runs the request/release/priority actions at p.
+func (s *Sim) bottomHalf(p int) {
+	n := &s.nodes[p]
+	if n.state == Req && n.rset >= n.need {
+		s.enterCS(p)
+	}
+	// Release is driven by the application action (finish), see appAct.
+	if n.prio && (n.state != Req || n.rset >= n.need) {
+		s.forwardPrio(p)
+		n.prio = false
+	}
+}
+
+func (s *Sim) forwardRes(p int) {
+	if p == 0 {
+		s.nodes[0].stoken = min(s.nodes[0].stoken+1, s.Cfg.L+1)
+	}
+	s.send(p, message.NewRes())
+}
+
+func (s *Sim) forwardPrio(p int) {
+	if p == 0 {
+		s.nodes[0].sprio = min(s.nodes[0].sprio+1, 2)
+	}
+	s.send(p, message.NewPrio())
+}
+
+func (s *Sim) forwardPush(p int) {
+	if p == 0 {
+		s.nodes[0].spush = min(s.nodes[0].spush+1, 2)
+	}
+	s.send(p, message.NewPush())
+}
+
+// releaseAll retransmits p's reserved tokens.
+func (s *Sim) releaseAll(p int) {
+	n := &s.nodes[p]
+	for ; n.rset > 0; n.rset-- {
+		s.forwardRes(p)
+	}
+}
+
+// deliver processes the head message of p's incoming channel.
+func (s *Sim) deliver(p int) {
+	q := s.queues[p]
+	m := q[0]
+	s.queues[p] = q[1:]
+	n := &s.nodes[p]
+	isRoot := p == 0
+	switch m.Kind {
+	case message.Res:
+		if isRoot && n.reset {
+			break // destroyed during a reset traversal
+		}
+		if n.state == Req && n.rset < n.need {
+			n.rset++
+		} else {
+			s.forwardRes(p)
+		}
+	case message.Push:
+		if isRoot && n.reset {
+			break
+		}
+		if !n.prio && (n.state != Req || n.rset < n.need) && n.state != In {
+			s.releaseAll(p)
+		}
+		s.forwardPush(p)
+	case message.Prio:
+		if isRoot && n.reset {
+			break
+		}
+		if !n.prio {
+			n.prio = true
+		} else {
+			s.send(p, message.NewPrio())
+		}
+	case message.Ctrl:
+		s.deliverCtrl(p, m)
+	}
+	s.bottomHalf(p)
+}
+
+// deliverCtrl handles the counter-flushing controller.
+func (s *Sim) deliverCtrl(p int, m message.Message) {
+	n := &s.nodes[p]
+	if p == 0 {
+		if m.C != n.myC {
+			return // stale or duplicate: absorbed
+		}
+		// Completion: accumulate the root's parked tokens into the ending
+		// circulation (corrected order, cf. tree erratum E2).
+		pt := min(m.PT+n.rset, s.Cfg.L+1)
+		ppr := m.PPr
+		if n.prio {
+			ppr = min(ppr+1, 2)
+		}
+		resCount := pt + n.stoken
+		prioCount := ppr + n.sprio
+		pushCount := n.spush
+		n.myC = (n.myC + 1) % s.Cfg.CounterMod()
+		n.reset = resCount > s.Cfg.L || prioCount > 1 || pushCount > 1
+		s.Circs++
+		if n.reset {
+			s.Resets++
+			n.rset = 0
+			n.prio = false
+		} else {
+			if prioCount < 1 {
+				s.send(0, message.NewPrio())
+			}
+			for i := resCount; i < s.Cfg.L; i++ {
+				s.send(0, message.NewRes())
+			}
+			if pushCount < 1 {
+				s.send(0, message.NewPush())
+			}
+		}
+		n.stoken, n.sprio, n.spush = 0, 0, 0
+		s.send(0, message.NewCtrl(n.myC, n.reset, 0, 0))
+		s.lastRestart = s.clock
+		return
+	}
+	// Non-root: adopt a new flag value, absorb duplicates.
+	if m.C == n.myC {
+		return
+	}
+	n.myC = m.C
+	if m.R {
+		n.rset = 0
+		n.prio = false
+	}
+	pt := min(m.PT+n.rset, s.Cfg.L+1)
+	ppr := m.PPr
+	if n.prio {
+		ppr = min(ppr+1, 2)
+	}
+	s.send(p, message.NewCtrl(n.myC, m.R, pt, ppr))
+}
+
+// appAct performs the pending application action at p.
+func (s *Sim) appAct(p int) {
+	a := s.apps[p]
+	n := &s.nodes[p]
+	switch a.phase {
+	case Out:
+		if n.state != Out {
+			a.readyAt = s.clock + 64
+			return
+		}
+		n.state = Req
+		n.need = a.need
+		a.phase = Req
+		s.waitingAt[p] = s.totalEnters
+		s.bottomHalf(p)
+	case In:
+		s.releaseAll(p)
+		n.state = Out
+		n.need = 0
+		a.phase = Out
+		a.readyAt = s.clock + a.think
+		s.bottomHalf(p)
+	}
+}
+
+func (s *Sim) appEnabled(p int) bool {
+	a := s.apps[p]
+	if a == nil {
+		return false
+	}
+	switch a.phase {
+	case Out:
+		return s.clock >= a.readyAt
+	case In:
+		// Only once the protocol has actually granted (phase In is set by
+		// enterCS) and the hold time elapsed.
+		return s.nodes[p].state == In && s.clock >= a.enteredAt+a.hold
+	default:
+		return false
+	}
+}
+
+// Step executes one scheduler-chosen action; the ring is never quiescent
+// once the controller runs (timeout fast-forward mirrors internal/sim).
+func (s *Sim) Step() {
+	type action struct{ kind, p int }
+	var acts []action
+	for p := range s.queues {
+		if len(s.queues[p]) > 0 {
+			acts = append(acts, action{0, p})
+		}
+	}
+	if s.clock-s.lastRestart >= s.timeoutTicks {
+		acts = append(acts, action{1, 0})
+	}
+	for p := range s.apps {
+		if s.appEnabled(p) {
+			acts = append(acts, action{2, p})
+		}
+	}
+	if len(acts) == 0 {
+		s.clock = s.lastRestart + s.timeoutTicks
+		acts = append(acts, action{1, 0})
+	}
+	a := acts[s.rng.Intn(len(acts))]
+	s.clock++
+	s.Steps++
+	switch a.kind {
+	case 0:
+		s.deliver(a.p)
+	case 1:
+		// Timeout: the circulation is presumed lost. Unlike the tree
+		// protocol (which retransmits the same flag and relies on duplicate
+		// forwarding), the plain ring form starts a FRESH circulation —
+		// processes that already adopted the old value would absorb a
+		// same-value retransmission and deadlock the control layer.
+		s.Timeouts++
+		n0 := &s.nodes[0]
+		n0.myC = (n0.myC + 1) % s.Cfg.CounterMod()
+		n0.stoken, n0.sprio, n0.spush = 0, 0, 0
+		s.send(0, message.NewCtrl(n0.myC, n0.reset, 0, 0))
+		s.lastRestart = s.clock
+	case 2:
+		s.appAct(a.p)
+	}
+}
+
+// Run executes n steps.
+func (s *Sim) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Step()
+	}
+}
+
+// Census returns (resource, pusher, priority) token populations.
+func (s *Sim) Census() (res, push, prio int) {
+	for p := range s.queues {
+		for _, m := range s.queues[p] {
+			switch m.Kind {
+			case message.Res:
+				res++
+			case message.Push:
+				push++
+			case message.Prio:
+				prio++
+			}
+		}
+	}
+	for p := range s.nodes {
+		res += s.nodes[p].rset
+		if s.nodes[p].prio {
+			prio++
+		}
+	}
+	return
+}
+
+// TokensCorrect reports whether the census is legitimate.
+func (s *Sim) TokensCorrect() bool {
+	res, push, prio := s.Census()
+	return res == s.Cfg.L && push == 1 && prio == 1 && !s.nodes[0].reset
+}
+
+// UnitsInUse returns the total units held by processes in critical sections.
+func (s *Sim) UnitsInUse() int {
+	u := 0
+	for p := range s.nodes {
+		if s.nodes[p].state == In {
+			u += s.nodes[p].rset
+		}
+	}
+	return u
+}
+
+// TotalGrants returns system-wide critical-section entries.
+func (s *Sim) TotalGrants() int64 {
+	var t int64
+	for _, g := range s.Grants {
+		t += g
+	}
+	return t
+}
+
+// InjectGarbage seeds up to CMAX random messages per channel.
+func (s *Sim) InjectGarbage(rng *rand.Rand) {
+	for p := range s.queues {
+		for i := rng.Intn(s.Cfg.CMAX + 1); i > 0; i-- {
+			s.queues[p] = append(s.queues[p], message.Random(rng, s.Cfg.CounterMod(), s.Cfg.L))
+		}
+	}
+}
+
+// CorruptStates randomizes every process state within domains.
+func (s *Sim) CorruptStates(rng *rand.Rand) {
+	for p := range s.nodes {
+		n := &s.nodes[p]
+		n.state = State(rng.Intn(3))
+		n.need = rng.Intn(s.Cfg.K + 1)
+		n.rset = rng.Intn(s.Cfg.K + 1)
+		n.prio = rng.Intn(2) == 0
+		n.myC = rng.Intn(s.Cfg.CounterMod())
+		if p == 0 {
+			n.reset = rng.Intn(2) == 0
+			n.stoken = rng.Intn(s.Cfg.L + 2)
+			n.sprio = rng.Intn(3)
+			n.spush = rng.Intn(3)
+		}
+		// Keep the app/phase machine consistent with a corrupted node: the
+		// retry/backoff logic in appAct resynchronizes on its own.
+	}
+}

@@ -1,0 +1,168 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{N: 4, K: 1, L: 1}, true},
+		{Config{N: 4, K: 2, L: 3}, true},
+		{Config{N: 1, K: 1, L: 1}, false},
+		{Config{N: 4, K: 0, L: 1}, false},
+		{Config{N: 4, K: 3, L: 2}, false},
+		{Config{N: 4, K: 1, L: 1, CMAX: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v", tc.cfg, err)
+		}
+	}
+}
+
+func TestCounterMod(t *testing.T) {
+	c := Config{N: 6, K: 1, L: 1, CMAX: 3}
+	if got, want := c.CounterMod(), 6*4+1; got != want {
+		t.Errorf("CounterMod = %d, want %d", got, want)
+	}
+}
+
+func TestBootstrapAndService(t *testing.T) {
+	s := MustNew(Config{N: 6, K: 2, L: 3, CMAX: 2}, 1)
+	for p := 0; p < 6; p++ {
+		s.Saturate(p, 1+p%2, 3, 6)
+	}
+	s.Run(150_000)
+	if !s.TokensCorrect() {
+		res, push, prio := s.Census()
+		t.Fatalf("census wrong: res=%d push=%d prio=%d", res, push, prio)
+	}
+	for p, g := range s.Grants {
+		if g == 0 {
+			t.Errorf("process %d starved", p)
+		}
+	}
+}
+
+func TestSafetyAfterBootstrap(t *testing.T) {
+	s := MustNew(Config{N: 5, K: 2, L: 3, CMAX: 2}, 2)
+	for p := 0; p < 5; p++ {
+		s.Saturate(p, 2, 5, 3)
+	}
+	// Let it bootstrap, then watch the safety predicate on every step.
+	s.Run(20_000)
+	if !s.TokensCorrect() {
+		t.Fatal("did not bootstrap")
+	}
+	for i := 0; i < 100_000; i++ {
+		s.Step()
+		if u := s.UnitsInUse(); u > s.Cfg.L {
+			t.Fatalf("step %d: %d units in use > ℓ=%d", i, u, s.Cfg.L)
+		}
+	}
+}
+
+func TestConvergenceFromArbitraryConfiguration(t *testing.T) {
+	check := func(seed int64, nSel, lSel uint8) bool {
+		n := 3 + int(nSel)%10
+		l := 1 + int(lSel)%4
+		s := MustNew(Config{N: n, K: 1, L: l, CMAX: 3}, seed)
+		rng := rand.New(rand.NewSource(seed + 99))
+		s.CorruptStates(rng)
+		s.InjectGarbage(rng)
+		for p := 0; p < n; p++ {
+			s.Saturate(p, 1, 2, 6)
+		}
+		budget := 10*s.timeoutTicks + 150_000
+		for i := int64(0); i < budget; i++ {
+			s.Step()
+			if i%512 == 0 && s.TokensCorrect() {
+				return true
+			}
+		}
+		return s.TokensCorrect()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecoveryAfterTimeoutLoss(t *testing.T) {
+	// Drain every in-flight message (including the controller); the root
+	// timeout must start a fresh circulation and rebuild the tokens.
+	s := MustNew(Config{N: 4, K: 1, L: 2, CMAX: 2, TimeoutTicks: 500}, 3)
+	s.Run(30_000)
+	if !s.TokensCorrect() {
+		t.Fatal("no bootstrap")
+	}
+	for p := range s.queues {
+		s.queues[p] = nil
+	}
+	s.Run(60_000)
+	if !s.TokensCorrect() {
+		res, push, prio := s.Census()
+		t.Fatalf("no recovery after total loss: res=%d push=%d prio=%d (timeouts=%d)",
+			res, push, prio, s.Timeouts)
+	}
+}
+
+func TestWaitingIsBoundedOnRing(t *testing.T) {
+	// The ring analog of Theorem 2: with one loop of n positions a request
+	// waits at most about ℓ·n entries per priority-token loop, i.e. ℓ·n²
+	// total — far under the tree's ℓ(2n-3)² for the same n. We assert the
+	// loose ℓ·n² envelope empirically.
+	const n, l = 8, 3
+	s := MustNew(Config{N: n, K: 2, L: l, CMAX: 2}, 4)
+	for p := 0; p < n; p++ {
+		need := 1
+		if p == n-1 {
+			need = 2
+		}
+		s.Saturate(p, need, 0, 0)
+	}
+	s.Run(200_000)
+	if s.TotalGrants() == 0 {
+		t.Fatal("no service")
+	}
+	if s.MaxWaiting > int64(l*n*n) {
+		t.Errorf("max waiting %d exceeds ℓn² = %d", s.MaxWaiting, l*n*n)
+	}
+	if s.MaxWaiting == 0 {
+		t.Error("no contention measured")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		s := MustNew(Config{N: 6, K: 2, L: 3, CMAX: 2}, 42)
+		for p := 0; p < 6; p++ {
+			s.Saturate(p, 1+p%2, 3, 5)
+		}
+		s.Run(50_000)
+		return s.TotalGrants(), s.CtrlMsgs
+	}
+	g1, c1 := run()
+	g2, c2 := run()
+	if g1 != g2 || c1 != c2 {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestNoSpuriousResetsFaultFree(t *testing.T) {
+	s := MustNew(Config{N: 8, K: 2, L: 4, CMAX: 2}, 5)
+	for p := 0; p < 8; p++ {
+		s.Saturate(p, 1+p%2, 4, 4)
+	}
+	s.Run(300_000)
+	if s.Resets > 1 { // at most the bootstrap could reset once
+		t.Errorf("%d resets in a fault-free ring run", s.Resets)
+	}
+	if s.Circs < 50 {
+		t.Errorf("only %d circulations", s.Circs)
+	}
+}

@@ -1,0 +1,325 @@
+// Package runtime executes the protocol under true asynchrony: one goroutine
+// per process, one buffered Go channel per directed tree edge, messages
+// wire-encoded into frames, and a wall-clock retransmission timer at the
+// root. It demonstrates that the core state machine — developed against the
+// deterministic simulator — runs unchanged on a real concurrent substrate
+// (the repo's race-enabled integration tests drive it).
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/tree"
+)
+
+// DefaultLinkBuffer is the per-link frame buffer. The stabilized token
+// population is ℓ+3 plus bounded controller duplicates, so this never fills
+// in practice; Send panics rather than blocks if it does (a full link under
+// this model is a sizing bug, not a protocol state).
+const DefaultLinkBuffer = 256
+
+// Options configures a live network.
+type Options struct {
+	// Timeout is the root's retransmission timeout (default 25ms).
+	Timeout time.Duration
+	// LinkBuffer overrides DefaultLinkBuffer.
+	LinkBuffer int
+	// Observer receives protocol events; it is called from process
+	// goroutines and must be safe for concurrent use (may be nil).
+	Observer core.Observer
+}
+
+// delivery is one decoded frame arriving on a labeled channel.
+type delivery struct {
+	ch int
+	m  message.Message
+}
+
+// appCmd drives the application interface of a process from outside.
+type appCmd struct {
+	request int // ≥ 0: issue request for this many units
+	poll    bool
+	reply   chan error
+}
+
+// Net is a live protocol instance over a tree.
+type Net struct {
+	tr   *tree.Tree
+	cfg  core.Config
+	opts Options
+
+	links   [][]chan []byte // links[p][ch]: frames INTO p on its channel ch
+	procs   []*proc
+	started atomic.Bool
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+
+	// Counters (atomic).
+	framesDelivered atomic.Int64
+	framesRejected  atomic.Int64 // checksum/decoding failures (injected noise)
+	grants          atomic.Int64
+}
+
+// proc is the per-process goroutine state.
+type proc struct {
+	id    int
+	net   *Net
+	node  *core.Node
+	inbox chan delivery
+	cmds  chan appCmd
+	out   []chan []byte // out[ch]: peer's inbox link
+
+	inCS      atomic.Bool
+	releaseRq atomic.Bool
+	onEnter   func(p int)
+}
+
+// New builds a live network for cfg over t. The system starts from the empty
+// configuration and bootstraps through the root timeout, exactly like the
+// simulator.
+func New(t *tree.Tree, cfg core.Config, opts Options) (*Net, error) {
+	cfg.N = t.N()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 25 * time.Millisecond
+	}
+	if opts.LinkBuffer <= 0 {
+		opts.LinkBuffer = DefaultLinkBuffer
+	}
+	n := &Net{tr: t, cfg: cfg, opts: opts,
+		links: make([][]chan []byte, t.N()),
+		procs: make([]*proc, t.N()),
+	}
+	for p := 0; p < t.N(); p++ {
+		n.links[p] = make([]chan []byte, t.Degree(p))
+		for ch := range n.links[p] {
+			n.links[p][ch] = make(chan []byte, opts.LinkBuffer)
+		}
+	}
+	for p := 0; p < t.N(); p++ {
+		pr := &proc{
+			id:    p,
+			net:   n,
+			inbox: make(chan delivery, opts.LinkBuffer),
+			cmds:  make(chan appCmd, 8),
+			out:   make([]chan []byte, t.Degree(p)),
+		}
+		for ch := 0; ch < t.Degree(p); ch++ {
+			q := t.Neighbor(p, ch)
+			pr.out[ch] = n.links[q][t.ChannelTo(q, p)]
+		}
+		node, err := core.NewNode(cfg, p, t.Degree(p), t.IsRoot(p), liveApp{pr})
+		if err != nil {
+			return nil, err
+		}
+		node.SetObserver(n.observe)
+		pr.node = node
+		n.procs[p] = pr
+	}
+	return n, nil
+}
+
+func (n *Net) observe(e core.Event) {
+	if e.Kind == core.EvEnterCS {
+		n.grants.Add(1)
+	}
+	if n.opts.Observer != nil {
+		n.opts.Observer(e)
+	}
+}
+
+// liveApp adapts a proc to core.App.
+type liveApp struct{ pr *proc }
+
+func (a liveApp) EnterCS() {
+	a.pr.inCS.Store(true)
+	a.pr.releaseRq.Store(false)
+	if a.pr.onEnter != nil {
+		a.pr.onEnter(a.pr.id)
+	}
+}
+
+func (a liveApp) ReleaseCS() bool {
+	return !a.pr.inCS.Load() || a.pr.releaseRq.Load()
+}
+
+// liveEnv implements core.Env inside a proc goroutine.
+type liveEnv struct {
+	pr    *proc
+	timer *time.Timer
+}
+
+func (e *liveEnv) Send(ch int, m message.Message) {
+	frame := message.Encode(nil, m)
+	select {
+	case e.pr.out[ch] <- frame:
+	default:
+		panic(fmt.Sprintf("runtime: link %d:%d full (%d frames) — undersized buffer",
+			e.pr.id, ch, cap(e.pr.out[ch])))
+	}
+}
+
+func (e *liveEnv) RestartTimer() {
+	if e.timer != nil {
+		e.timer.Reset(e.pr.net.opts.Timeout)
+	}
+}
+
+// Start launches every process goroutine; ctx cancellation (or Stop) shuts
+// the network down.
+func (n *Net) Start(ctx context.Context) {
+	if !n.started.CompareAndSwap(false, true) {
+		panic("runtime: Start called twice")
+	}
+	ctx, n.cancel = context.WithCancel(ctx)
+	for _, pr := range n.procs {
+		// One pump per incoming link preserves per-channel FIFO while
+		// merging the process's channels into a single inbox.
+		for ch, link := range n.links[pr.id] {
+			n.wg.Add(1)
+			go pr.pump(ctx, ch, link, &n.wg)
+		}
+		n.wg.Add(1)
+		go pr.run(ctx, &n.wg)
+	}
+}
+
+// pump decodes frames from one link into the process inbox.
+func (pr *proc) pump(ctx context.Context, ch int, link chan []byte, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame := <-link:
+			m, _, err := message.Decode(frame)
+			if err != nil {
+				pr.net.framesRejected.Add(1)
+				continue
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case pr.inbox <- delivery{ch: ch, m: m}:
+			}
+		}
+	}
+}
+
+// run is the process main loop: the paper's "repeat forever".
+func (pr *proc) run(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	env := &liveEnv{pr: pr}
+	if pr.node.IsRoot() && pr.net.cfg.Features.Controller {
+		env.timer = time.NewTimer(pr.net.opts.Timeout)
+		defer env.timer.Stop()
+	}
+	var timerC <-chan time.Time
+	if env.timer != nil {
+		timerC = env.timer.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case d := <-pr.inbox:
+			pr.net.framesDelivered.Add(1)
+			pr.node.HandleMessage(d.ch, d.m, env)
+		case <-timerC:
+			pr.node.HandleTimeout(env)
+		case cmd := <-pr.cmds:
+			var err error
+			if cmd.request >= 0 {
+				err = pr.node.Request(env, cmd.request)
+			}
+			if cmd.poll {
+				pr.node.Poll(env)
+			}
+			if cmd.reply != nil {
+				cmd.reply <- err
+			}
+		}
+	}
+}
+
+// Stop cancels the network and waits for every goroutine to exit.
+func (n *Net) Stop() {
+	if n.cancel != nil {
+		n.cancel()
+	}
+	n.wg.Wait()
+}
+
+// Request asks process p for need units; it returns the protocol's answer
+// (an error unless the process was in state Out).
+func (n *Net) Request(p, need int) error {
+	reply := make(chan error, 1)
+	n.procs[p].cmds <- appCmd{request: need, reply: reply}
+	return <-reply
+}
+
+// Release signals that process p's application finished its critical
+// section.
+func (n *Net) Release(p int) {
+	pr := n.procs[p]
+	pr.releaseRq.Store(true)
+	pr.inCS.Store(false)
+	pr.cmds <- appCmd{request: -1, poll: true}
+}
+
+// OnEnter registers a grant callback for process p (call before Start). It
+// runs on the process goroutine.
+func (n *Net) OnEnter(p int, f func(p int)) { n.procs[p].onEnter = f }
+
+// Grants returns the total number of critical-section entries so far.
+func (n *Net) Grants() int64 { return n.grants.Load() }
+
+// FramesDelivered returns the number of frames decoded and handled.
+func (n *Net) FramesDelivered() int64 { return n.framesDelivered.Load() }
+
+// FramesRejected returns the number of frames dropped by the wire layer.
+func (n *Net) FramesRejected() int64 { return n.framesRejected.Load() }
+
+// InjectGarbage seeds up to the configuration's CMAX random well-formed
+// protocol messages into every link — the paper's initial-channel fault
+// model. Must be called before Start.
+func (n *Net) InjectGarbage(seed int64) {
+	if n.started.Load() {
+		panic("runtime: InjectGarbage after Start")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for p := range n.links {
+		for _, link := range n.links[p] {
+			for i := rng.Intn(n.cfg.CMAX + 1); i > 0; i-- {
+				link <- message.Encode(nil, message.Random(rng, n.cfg.CounterMod(), n.cfg.L))
+			}
+		}
+	}
+}
+
+// InjectNoise seeds raw random byte frames (not necessarily well-formed)
+// into random links, exercising the wire layer's rejection path. Must be
+// called before Start.
+func (n *Net) InjectNoise(seed int64, frames int) {
+	if n.started.Load() {
+		panic("runtime: InjectNoise after Start")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < frames; i++ {
+		p := rng.Intn(len(n.links))
+		ch := rng.Intn(len(n.links[p]))
+		frame := make([]byte, message.FrameSize)
+		rng.Read(frame)
+		n.links[p][ch] <- frame
+	}
+}

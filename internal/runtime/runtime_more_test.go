@@ -1,0 +1,184 @@
+package runtime_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kofl/internal/core"
+	"kofl/internal/runtime"
+	"kofl/internal/tree"
+)
+
+// TestLiveDoubleStartPanics pins the Start contract.
+func TestLiveDoubleStartPanics(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, CMAX: 2, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	n.Start(context.Background())
+	defer n.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start did not panic")
+		}
+	}()
+	n.Start(context.Background())
+}
+
+// TestLiveInjectAfterStartPanics pins the injection contract.
+func TestLiveInjectAfterStartPanics(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, CMAX: 2, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	n.Start(context.Background())
+	defer n.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("InjectGarbage after Start did not panic")
+		}
+	}()
+	n.InjectGarbage(1)
+}
+
+// TestLiveRequestErrors: the protocol refuses a second request while one is
+// outstanding, across the goroutine boundary.
+func TestLiveRequestErrors(t *testing.T) {
+	tr := tree.Star(4)
+	cfg := core.Config{K: 2, L: 3, CMAX: 2, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	n.Start(context.Background())
+	defer n.Stop()
+	if err := n.Request(2, 1); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	if err := n.Request(2, 1); err == nil {
+		t.Error("second request while pending accepted")
+	}
+	if err := n.Request(1, 99); err == nil {
+		t.Error("need > k accepted")
+	}
+}
+
+// TestLiveStopTerminates: Stop returns promptly and no goroutine keeps
+// serving afterwards.
+func TestLiveStopTerminates(t *testing.T) {
+	tr := tree.Balanced(2, 3)
+	cfg := core.Config{K: 2, L: 4, CMAX: 2, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 2 * time.Millisecond})
+	n.Start(context.Background())
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		n.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung")
+	}
+}
+
+// TestLiveMutualExclusionInvariant: with k=ℓ=1 at most one process is ever
+// inside its critical section, checked with an atomic occupancy counter
+// under real concurrency.
+func TestLiveMutualExclusionInvariant(t *testing.T) {
+	tr := tree.Star(6)
+	cfg := core.Config{K: 1, L: 1, CMAX: 2, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 3 * time.Millisecond})
+
+	var occupancy atomic.Int32
+	var violations atomic.Int32
+	granted := make([]chan struct{}, tr.N())
+	for p := 1; p < tr.N(); p++ {
+		granted[p] = make(chan struct{}, 4)
+		p := p
+		n.OnEnter(p, func(int) {
+			if occupancy.Add(1) > 1 {
+				violations.Add(1)
+			}
+			granted[p] <- struct{}{}
+		})
+	}
+	n.Start(context.Background())
+	defer n.Stop()
+
+	var wg sync.WaitGroup
+	for p := 1; p < tr.N(); p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				if err := n.Request(p, 1); err != nil {
+					t.Errorf("request(%d): %v", p, err)
+					return
+				}
+				select {
+				case <-granted[p]:
+				case <-time.After(10 * time.Second):
+					t.Errorf("grant timeout at %d", p)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+				occupancy.Add(-1)
+				n.Release(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Errorf("%d mutual-exclusion violations post-bootstrap", v)
+	}
+}
+
+// TestLiveLargeTree: a 31-process balanced tree serves requests under real
+// concurrency within a sane wall-clock budget.
+func TestLiveLargeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak")
+	}
+	tr := tree.Balanced(2, 4) // 31 processes
+	cfg := core.Config{K: 2, L: 6, CMAX: 2, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	granted := make(chan int, 256)
+	for p := 1; p < tr.N(); p++ {
+		n.OnEnter(p, func(p int) { granted <- p })
+	}
+	n.Start(context.Background())
+	defer n.Stop()
+	var wg sync.WaitGroup
+	ack := make([]chan struct{}, tr.N())
+	for p := 1; p < tr.N(); p++ {
+		ack[p] = make(chan struct{}, 4)
+	}
+	go func() {
+		for p := range granted {
+			ack[p] <- struct{}{}
+		}
+	}()
+	for p := 1; p < tr.N(); p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < 2; r++ {
+				if err := n.Request(p, 1+p%2); err != nil {
+					t.Errorf("request(%d): %v", p, err)
+					return
+				}
+				select {
+				case <-ack[p]:
+				case <-time.After(20 * time.Second):
+					t.Errorf("grant timeout at %d round %d", p, r)
+					return
+				}
+				n.Release(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if g := n.Grants(); g < int64(2*(tr.N()-1)) {
+		t.Errorf("grants = %d, want ≥ %d", g, 2*(tr.N()-1))
+	}
+}

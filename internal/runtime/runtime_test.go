@@ -1,0 +1,105 @@
+package runtime_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"kofl/internal/core"
+	"kofl/internal/runtime"
+	"kofl/internal/tree"
+)
+
+// startNet builds and starts a live network, returning it with a cleanup.
+func startNet(t *testing.T, tr *tree.Tree, cfg core.Config, opts runtime.Options) *runtime.Net {
+	t.Helper()
+	n, err := runtime.New(tr, cfg, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n
+}
+
+// TestLiveGrants boots the full protocol on the paper tree under real
+// concurrency and verifies that every process can acquire and release units
+// through the public request/release interface.
+func TestLiveGrants(t *testing.T) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 3, L: 5, CMAX: 4, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+
+	enters := make([]chan struct{}, tr.N())
+	for p := 0; p < tr.N(); p++ {
+		enters[p] = make(chan struct{}, 16)
+		p := p
+		n.OnEnter(p, func(int) { enters[p] <- struct{}{} })
+	}
+	n.Start(context.Background())
+	defer n.Stop()
+
+	var wg sync.WaitGroup
+	for p := 0; p < tr.N(); p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				if err := n.Request(p, 1+p%cfg.K); err != nil {
+					t.Errorf("process %d request: %v", p, err)
+					return
+				}
+				select {
+				case <-enters[p]:
+				case <-time.After(10 * time.Second):
+					t.Errorf("process %d: grant timed out (round %d)", p, round)
+					return
+				}
+				n.Release(p)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if g := n.Grants(); g < int64(3*tr.N()) {
+		t.Errorf("grants = %d, want ≥ %d", g, 3*tr.N())
+	}
+}
+
+// TestLiveRecoversFromGarbage floods every link with well-formed garbage and
+// raw noise before start; the protocol must still converge and serve
+// requests (self-stabilization on the live substrate).
+func TestLiveRecoversFromGarbage(t *testing.T) {
+	tr := tree.Star(5)
+	cfg := core.Config{K: 2, L: 3, CMAX: 6, Features: core.Full()}
+	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	n.InjectGarbage(42)
+	n.InjectNoise(43, 50)
+
+	granted := make(chan int, 64)
+	for p := 0; p < tr.N(); p++ {
+		n.OnEnter(p, func(p int) { granted <- p })
+	}
+	n.Start(context.Background())
+	defer n.Stop()
+
+	for p := 1; p < tr.N(); p++ {
+		if err := n.Request(p, 1); err != nil {
+			t.Fatalf("request(%d): %v", p, err)
+		}
+	}
+	seen := map[int]bool{}
+	deadline := time.After(15 * time.Second)
+	for len(seen) < tr.N()-1 {
+		select {
+		case p := <-granted:
+			if !seen[p] {
+				seen[p] = true
+				n.Release(p)
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d processes served after garbage injection", len(seen), tr.N()-1)
+		}
+	}
+	if n.FramesRejected() == 0 {
+		t.Error("expected the wire layer to reject some noise frames")
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"kofl/internal/core"
+	"kofl/internal/message"
+)
+
+// Census is a global snapshot of where every token of the system lives: in
+// transit ("free", the paper's term) or stored in process state (reserved
+// resource tokens in RSet multisets; a held priority token as Prio ≠ ⊥).
+type Census struct {
+	FreeRes, ReservedRes int
+	FreePush             int
+	FreePrio, HeldPrio   int
+	Ctrl                 int // ctrl messages in transit (valid or not)
+	ResetCtrl            int // ctrl messages in transit with R set
+	InCS                 int // processes with State = In
+	UnitsInUse           int // Σ |RSet| over processes with State = In
+}
+
+// Res returns the total resource-token population.
+func (c Census) Res() int { return c.FreeRes + c.ReservedRes }
+
+// Prio returns the total priority-token population.
+func (c Census) Prio() int { return c.FreePrio + c.HeldPrio }
+
+// String summarizes the census.
+func (c Census) String() string {
+	return fmt.Sprintf("census{res=%d(%d free) push=%d prio=%d(%d held) ctrl=%d inCS=%d units=%d}",
+		c.Res(), c.FreeRes, c.FreePush, c.Prio(), c.HeldPrio, c.Ctrl, c.InCS, c.UnitsInUse)
+}
+
+// Census computes the current global token census.
+func (s *Sim) Census() Census {
+	var c Census
+	for p := range s.out {
+		for _, ch := range s.out[p] {
+			for _, m := range ch.Snapshot() {
+				switch m.Kind {
+				case message.Res:
+					c.FreeRes++
+				case message.Push:
+					c.FreePush++
+				case message.Prio:
+					c.FreePrio++
+				case message.Ctrl:
+					c.Ctrl++
+					if m.R {
+						c.ResetCtrl++
+					}
+				}
+			}
+		}
+	}
+	for _, n := range s.Nodes {
+		c.ReservedRes += n.Reserved()
+		if n.HoldsPrio() {
+			c.HeldPrio++
+		}
+		if n.State() == core.In {
+			c.InCS++
+			c.UnitsInUse += n.Reserved()
+		}
+	}
+	return c
+}
+
+// TokensCorrect reports whether the token populations match the legitimate
+// values: exactly ℓ resource tokens, and — per enabled feature — exactly one
+// pusher and one priority token, with no reset traversal pending.
+func (s *Sim) TokensCorrect() bool {
+	c := s.Census()
+	if c.Res() != s.Cfg.L {
+		return false
+	}
+	if s.Cfg.Features.Pusher && c.FreePush != 1 {
+		return false
+	}
+	if s.Cfg.Features.Priority && c.Prio() != 1 {
+		return false
+	}
+	if c.ResetCtrl > 0 {
+		return false
+	}
+	if s.Nodes[s.Tree.Root()].ResetFlag() {
+		return false
+	}
+	return true
+}
+
+// SeedLegitimate places a legitimate initial token population for variants
+// without the controller (which cannot create their own tokens): ℓ resource
+// tokens, then the pusher, then the priority token — per enabled feature —
+// all queued on the root's outgoing channel 0, i.e. at ring START.
+func (s *Sim) SeedLegitimate() {
+	c := s.out[s.Tree.Root()][0]
+	for i := 0; i < s.Cfg.L; i++ {
+		c.Seed(message.NewRes())
+	}
+	if s.Cfg.Features.Pusher {
+		c.Seed(message.NewPush())
+	}
+	if s.Cfg.Features.Priority {
+		c.Seed(message.NewPrio())
+	}
+}
+
+// Seed enqueues msgs (in order) on the outgoing channel ch of process p,
+// without counting them as sent — for scenario and fault setup.
+func (s *Sim) Seed(p, ch int, msgs ...message.Message) {
+	for _, m := range msgs {
+		s.out[p][ch].Seed(m)
+	}
+}

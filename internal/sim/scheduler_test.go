@@ -1,0 +1,176 @@
+package sim_test
+
+import (
+	"testing"
+
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+func TestRandomSchedulerIsFair(t *testing.T) {
+	// Over a long run every process must take steps (deliveries land
+	// everywhere): the weak-fairness assumption of the model.
+	tr := tree.Paper()
+	s := sim.MustNew(tr, fullCfg(2, 3), sim.Options{Seed: 5})
+	steps := make([]int, tr.N())
+	s.AddStepHook(func(s *sim.Sim) {
+		if s.LastAction.Kind == sim.ActDeliver {
+			steps[s.LastAction.Proc]++
+		}
+	})
+	s.Run(50_000)
+	for p, n := range steps {
+		if n == 0 {
+			t.Errorf("process %d never delivered a message", p)
+		}
+	}
+}
+
+func TestRoundRobinSchedulerDeterministicAndFair(t *testing.T) {
+	run := func() []int64 {
+		tr := tree.Star(6)
+		s := sim.MustNew(tr, fullCfg(1, 2), sim.Options{
+			Seed: 1, Scheduler: sim.NewRoundRobinScheduler(),
+		})
+		counts := make([]int64, tr.N())
+		s.AddStepHook(func(s *sim.Sim) {
+			counts[s.LastAction.Proc]++
+		})
+		for p := 0; p < tr.N(); p++ {
+			workload.Attach(s, p, workload.Fixed(1, 2, 2, 0))
+		}
+		s.Run(20_000)
+		return counts
+	}
+	a, b := run(), run()
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatal("round robin not deterministic")
+		}
+		if a[p] == 0 {
+			t.Errorf("process %d starved under round robin", p)
+		}
+	}
+}
+
+func TestScriptSchedulerReplaysExactly(t *testing.T) {
+	// A one-token circulation on a chain, scripted hop by hop.
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, Features: core.Naive()}
+	script := []sim.Pick{
+		sim.Deliver(1, 0, message.Res), // root→1
+		sim.Deliver(2, 0, message.Res), // 1→2
+		sim.Deliver(1, 1, message.Res), // 2→1 (bounce back)
+		sim.Deliver(0, 0, message.Res), // 1→root
+	}
+	ss := sim.NewScriptScheduler(script, true)
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1, Scheduler: ss})
+	s.Seed(0, 0, message.NewRes())
+	s.Run(8) // two full laps
+	if ss.Broken() {
+		t.Fatal("script broke on a legal circulation")
+	}
+	if ss.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1 (second lap restarted the script)", ss.Cycles())
+	}
+}
+
+func TestScriptSchedulerPanicsOnMismatch(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, Features: core.Naive()}
+	ss := sim.NewScriptScheduler([]sim.Pick{sim.Deliver(2, 0, message.Push)}, false)
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1, Scheduler: ss})
+	s.Seed(0, 0, message.NewRes()) // only a Res heading to process 1
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched script did not panic")
+		}
+	}()
+	s.Step()
+}
+
+func TestScriptSchedulerFallback(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, Features: core.Naive()}
+	ss := sim.NewScriptScheduler([]sim.Pick{sim.Deliver(2, 0, message.Push)}, false)
+	ss.Fallback = sim.NewRandomScheduler()
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1, Scheduler: ss})
+	s.Seed(0, 0, message.NewRes())
+	s.Run(10)
+	if !ss.Broken() {
+		t.Error("script should have broken and fallen back")
+	}
+	if s.Delivered[message.Res] == 0 {
+		t.Error("fallback scheduler did not deliver")
+	}
+}
+
+func TestScriptSchedulerPrefixRunsOnce(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, Features: core.Naive()}
+	ss := sim.NewScriptScheduler([]sim.Pick{
+		sim.Deliver(2, 0, message.Res),
+		sim.Deliver(1, 1, message.Res),
+		sim.Deliver(0, 0, message.Res),
+		sim.Deliver(1, 0, message.Res),
+	}, true)
+	ss.Prefix = []sim.Pick{sim.Deliver(1, 0, message.Res)}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1, Scheduler: ss})
+	s.Seed(0, 0, message.NewRes())
+	s.Run(9) // prefix + two loop cycles
+	if ss.Broken() {
+		t.Fatal("prefix+loop script broke")
+	}
+	if ss.Cycles() != 1 {
+		t.Errorf("cycles = %d, want 1", ss.Cycles())
+	}
+}
+
+func TestAntiTargetSchedulerSlowsTarget(t *testing.T) {
+	// Same workload, several seeds: on average the anti-target adversary
+	// must slow the heavy requester relative to the fair scheduler. (FIFO
+	// limits how much a rule-based adversary can do — the pusher queues
+	// behind the very token it should preempt — which is why Figure 3's
+	// full starvation needs the scripted schedule.)
+	grants := func(sched sim.Scheduler, seed int64) (target, others int64) {
+		tr := tree.Star(4)
+		cfg := core.Config{K: 2, L: 3, Features: core.PusherOnly()}
+		s := sim.MustNew(tr, cfg, sim.Options{Seed: seed, Scheduler: sched})
+		s.SeedLegitimate()
+		apps := make([]*workload.Cycle, tr.N())
+		for p := 0; p < tr.N(); p++ {
+			need := 1
+			if p == 1 {
+				need = 2
+			}
+			apps[p] = workload.Attach(s, p, workload.Fixed(need, 0, 0, 0))
+		}
+		s.Run(40_000)
+		for p, a := range apps {
+			if p == 1 {
+				target = int64(a.Grants)
+			} else {
+				others += int64(a.Grants)
+			}
+		}
+		return
+	}
+	var fairT, fairO, advT, advO int64
+	for seed := int64(1); seed <= 5; seed++ {
+		ft, fo := grants(sim.NewRandomScheduler(), seed)
+		at, ao := grants(sim.NewAntiTargetScheduler(1), seed)
+		fairT, fairO = fairT+ft, fairO+fo
+		advT, advO = advT+at, advO+ao
+	}
+	if advO == 0 || fairO == 0 {
+		t.Fatal("no progress at all")
+	}
+	fairRatio := float64(fairT) / float64(fairO)
+	advRatio := float64(advT) / float64(advO)
+	if advRatio >= fairRatio {
+		t.Errorf("adversary ineffective: fair ratio %.4f, adversarial ratio %.4f", fairRatio, advRatio)
+	}
+}

@@ -1,0 +1,408 @@
+// Package sim is the deterministic asynchronous message-passing kernel the
+// experiments run on.
+//
+// The model follows the paper: processes communicate over reliable FIFO
+// channels; executions are asynchronous but fair. Asynchrony is realized by
+// an adversarial Scheduler that, at every step, picks one enabled action —
+// delivering the head message of some channel, firing the root's timeout, or
+// letting an application act (issue a request / finish its critical
+// section). A run is a pure function of (topology, config, seed, scheduler),
+// so every experiment is reproducible.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kofl/internal/channel"
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/tree"
+)
+
+// ActionKind classifies schedulable steps.
+type ActionKind uint8
+
+const (
+	// ActDeliver delivers the head message of the channel into (Proc, Ch).
+	ActDeliver ActionKind = iota
+	// ActTimeout fires the root's retransmission timeout.
+	ActTimeout
+	// ActApp lets the application at Proc take its pending action.
+	ActApp
+)
+
+// Action is one enabled step the scheduler can pick.
+type Action struct {
+	Kind ActionKind
+	Proc int
+	Ch   int
+}
+
+// String renders the action for scripts and traces.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActDeliver:
+		return fmt.Sprintf("deliver(p%d,ch%d)", a.Proc, a.Ch)
+	case ActTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("app(p%d)", a.Proc)
+	}
+}
+
+// Scheduler picks the next action among the enabled ones; it is the
+// asynchrony adversary. peek returns the head message of a deliver action's
+// channel so rule-based adversaries can match on message kinds.
+type Scheduler interface {
+	Next(s *Sim, actions []Action) int
+}
+
+// Handle is the application's lever on its own process, passed to App.Act.
+type Handle interface {
+	// ID returns the process id.
+	ID() int
+	// Now returns the current simulation clock.
+	Now() int64
+	// Request issues a request for need units (Out→Req).
+	Request(need int) error
+	// Poll re-runs the protocol's local actions, e.g. after the application
+	// finished its critical section.
+	Poll()
+}
+
+// App is a simulated application driving one process. It extends the
+// protocol-facing core.App with the scheduling side: Enabled reports whether
+// the application wants to act, and Act performs the action when the
+// scheduler grants it a step.
+type App interface {
+	core.App
+	Enabled(now int64) bool
+	Act(h Handle)
+}
+
+// Options configures a simulation.
+type Options struct {
+	// Seed drives all randomness (scheduler tie-breaks, random scheduler).
+	Seed int64
+	// Scheduler defaults to NewRandomScheduler().
+	Scheduler Scheduler
+	// TimeoutTicks is the root's retransmission timeout in simulation steps;
+	// 0 selects a topology-derived default generous enough that the timeout
+	// never fires in steady state (paper footnote 4).
+	TimeoutTicks int64
+	// Observer additionally receives every protocol event (may be nil).
+	Observer core.Observer
+}
+
+// DefaultTimeoutTicks returns the default retransmission timeout for a tree
+// with the given ring length and ℓ: roughly 16 worst-case controller
+// circulations under a fair random scheduler.
+func DefaultTimeoutTicks(ringLen, l int) int64 {
+	return int64(16 * ringLen * (l + 4))
+}
+
+// Sim is one simulated system.
+type Sim struct {
+	Tree  *tree.Tree
+	Cfg   core.Config
+	Nodes []*core.Node
+	Apps  []App
+
+	in  [][]*channel.Channel // in[p][ch]: incoming channel of p with label ch
+	out [][]*channel.Channel // out[p][ch]: same channels, sender view
+
+	clock        int64
+	rng          *rand.Rand
+	sched        Scheduler
+	timeoutTicks int64
+	lastRestart  int64
+
+	observers []core.Observer
+	envs      []*env
+
+	// Counters.
+	Steps      int64
+	Delivered  [5]int64 // by message.Kind
+	Timeouts   int64
+	AppActions int64
+
+	// LastAction is the most recently executed action; when it is a
+	// delivery, LastMsg is the message that was delivered. Step hooks read
+	// them to observe the execution.
+	LastAction Action
+	LastMsg    message.Message
+
+	stepHooks []func(*Sim)
+	actBuf    []Action // reused scratch for enabled-action scans
+}
+
+// AddStepHook registers f to run after every executed step.
+func (s *Sim) AddStepHook(f func(*Sim)) { s.stepHooks = append(s.stepHooks, f) }
+
+// New builds a simulation of cfg over t. Every process starts in the zero
+// protocol state with empty channels (itself an arbitrary configuration —
+// with the controller enabled the system bootstraps via the root timeout).
+// Apps are attached separately; processes without one never request.
+func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
+	cfg.N = t.N()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		Tree:         t,
+		Cfg:          cfg,
+		Nodes:        make([]*core.Node, t.N()),
+		Apps:         make([]App, t.N()),
+		in:           make([][]*channel.Channel, t.N()),
+		out:          make([][]*channel.Channel, t.N()),
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		sched:        opts.Scheduler,
+		timeoutTicks: opts.TimeoutTicks,
+		envs:         make([]*env, t.N()),
+	}
+	if s.sched == nil {
+		s.sched = NewRandomScheduler()
+	}
+	if s.timeoutTicks <= 0 {
+		s.timeoutTicks = DefaultTimeoutTicks(t.RingLen(), cfg.L)
+	}
+	if opts.Observer != nil {
+		s.observers = append(s.observers, opts.Observer)
+	}
+	for p := 0; p < t.N(); p++ {
+		s.in[p] = make([]*channel.Channel, t.Degree(p))
+		s.out[p] = make([]*channel.Channel, t.Degree(p))
+	}
+	for p := 0; p < t.N(); p++ {
+		for ch := 0; ch < t.Degree(p); ch++ {
+			q := t.Neighbor(p, ch)
+			toCh := t.ChannelTo(q, p)
+			c := channel.New(p, ch, q, toCh)
+			s.out[p][ch] = c
+			s.in[q][toCh] = c
+		}
+	}
+	for p := 0; p < t.N(); p++ {
+		app := App(nopApp{})
+		s.Apps[p] = app
+		node, err := core.NewNode(cfg, p, t.Degree(p), t.IsRoot(p), appShim{s, p})
+		if err != nil {
+			return nil, err
+		}
+		node.SetObserver(s.fanout)
+		s.Nodes[p] = node
+		s.envs[p] = &env{s: s, p: p}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and fixtures.
+func MustNew(t *tree.Tree, cfg core.Config, opts Options) *Sim {
+	s, err := New(t, cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// nopApp is the default application: never requests, never acts.
+type nopApp struct{ core.NopApp }
+
+func (nopApp) Enabled(int64) bool { return false }
+func (nopApp) Act(Handle)         {}
+
+// appShim adapts the per-process App to the protocol's core.App view,
+// indirecting through the slice so apps can be attached after New.
+type appShim struct {
+	s *Sim
+	p int
+}
+
+func (a appShim) EnterCS()        { a.s.Apps[a.p].EnterCS() }
+func (a appShim) ReleaseCS() bool { return a.s.Apps[a.p].ReleaseCS() }
+
+// AttachApp installs the application driving process p.
+func (s *Sim) AttachApp(p int, app App) { s.Apps[p] = app }
+
+// AddObserver registers an additional protocol-event monitor.
+func (s *Sim) AddObserver(o core.Observer) { s.observers = append(s.observers, o) }
+
+func (s *Sim) fanout(e core.Event) {
+	for _, o := range s.observers {
+		o(e)
+	}
+}
+
+// env implements core.Env for one process.
+type env struct {
+	s *Sim
+	p int
+}
+
+func (e *env) Send(ch int, m message.Message) {
+	e.s.out[e.p][ch].Push(m)
+}
+
+func (e *env) RestartTimer() {
+	if e.s.Tree.IsRoot(e.p) {
+		e.s.lastRestart = e.s.clock
+	}
+}
+
+// handle implements Handle for one process (applications act through it).
+type handle struct {
+	s *Sim
+	p int
+}
+
+func (h handle) ID() int    { return h.p }
+func (h handle) Now() int64 { return h.s.clock }
+func (h handle) Request(need int) error {
+	return h.s.Nodes[h.p].Request(h.s.envs[h.p], need)
+}
+func (h handle) Poll() { h.s.Nodes[h.p].Poll(h.s.envs[h.p]) }
+
+// Handle returns the application lever of process p. The paper's execution
+// model admits transitions in which "an external application modifies an
+// input variable", so driving requests through a Handle from outside the
+// scheduler is a legal execution.
+func (s *Sim) Handle(p int) Handle { return handle{s, p} }
+
+// Now returns the simulation clock (number of executed steps, plus timeout
+// fast-forwards).
+func (s *Sim) Now() int64 { return s.clock }
+
+// TimeoutTicks returns the effective retransmission timeout.
+func (s *Sim) TimeoutTicks() int64 { return s.timeoutTicks }
+
+// In returns the incoming channel of p with label ch.
+func (s *Sim) In(p, ch int) *channel.Channel { return s.in[p][ch] }
+
+// Out returns the outgoing channel of p with label ch.
+func (s *Sim) Out(p, ch int) *channel.Channel { return s.out[p][ch] }
+
+// Channels calls f on every directed channel.
+func (s *Sim) Channels(f func(*channel.Channel)) {
+	for p := range s.out {
+		for _, c := range s.out[p] {
+			f(c)
+		}
+	}
+}
+
+// Rand exposes the simulation RNG (for schedulers).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// enabled appends all currently enabled actions to dst and returns it.
+func (s *Sim) enabled(dst []Action) []Action {
+	for p := range s.in {
+		for ch, c := range s.in[p] {
+			if c.Len() > 0 {
+				dst = append(dst, Action{Kind: ActDeliver, Proc: p, Ch: ch})
+			}
+		}
+	}
+	if s.timerExpired() {
+		dst = append(dst, Action{Kind: ActTimeout, Proc: s.Tree.Root()})
+	}
+	for p, a := range s.Apps {
+		if a.Enabled(s.clock) {
+			dst = append(dst, Action{Kind: ActApp, Proc: p})
+		}
+	}
+	return dst
+}
+
+func (s *Sim) timerExpired() bool {
+	return s.Cfg.Features.Controller && s.clock-s.lastRestart >= s.timeoutTicks
+}
+
+// Peek returns the message an ActDeliver action would deliver. It panics for
+// other action kinds.
+func (s *Sim) Peek(a Action) message.Message {
+	if a.Kind != ActDeliver {
+		panic("sim: Peek on non-deliver action")
+	}
+	return s.in[a.Proc][a.Ch].Peek()
+}
+
+// Step executes one scheduler-chosen action. It returns false when the
+// system is quiescent: nothing to deliver, no application wants to act, and
+// — in variants with the controller — even after fast-forwarding the clock
+// to the next timeout there would be nothing to do (which cannot happen, as
+// the timeout itself becomes enabled; so with the controller Step only
+// returns false if the scheduler misbehaves).
+func (s *Sim) Step() bool {
+	s.actBuf = s.enabled(s.actBuf[:0])
+	if len(s.actBuf) == 0 {
+		if s.Cfg.Features.Controller {
+			// Quiescent but self-stabilizing: fast-forward to the timeout.
+			s.clock = s.lastRestart + s.timeoutTicks
+			s.actBuf = append(s.actBuf, Action{Kind: ActTimeout, Proc: s.Tree.Root()})
+		} else {
+			return false
+		}
+	}
+	i := s.sched.Next(s, s.actBuf)
+	if i < 0 || i >= len(s.actBuf) {
+		panic(fmt.Sprintf("sim: scheduler picked %d of %d actions", i, len(s.actBuf)))
+	}
+	a := s.actBuf[i]
+	s.clock++
+	s.Steps++
+	s.LastAction = a
+	s.LastMsg = message.Message{}
+	switch a.Kind {
+	case ActDeliver:
+		m := s.in[a.Proc][a.Ch].Pop()
+		if m.Kind.Valid() {
+			s.Delivered[m.Kind]++
+		}
+		s.LastMsg = m
+		s.Nodes[a.Proc].HandleMessage(a.Ch, m, s.envs[a.Proc])
+	case ActTimeout:
+		s.Timeouts++
+		s.Nodes[a.Proc].HandleTimeout(s.envs[a.Proc])
+	case ActApp:
+		s.AppActions++
+		s.Apps[a.Proc].Act(handle{s, a.Proc})
+	}
+	for _, f := range s.stepHooks {
+		f(s)
+	}
+	return true
+}
+
+// Run executes at most steps actions, stopping early when quiescent. It
+// returns the number of actions executed.
+func (s *Sim) Run(steps int64) int64 {
+	var done int64
+	for done < steps && s.Step() {
+		done++
+	}
+	return done
+}
+
+// RunUntil executes actions until pred holds (checked after every step), the
+// budget is exhausted, or the system quiesces. It reports whether pred held.
+func (s *Sim) RunUntil(steps int64, pred func() bool) bool {
+	if pred() {
+		return true
+	}
+	for i := int64(0); i < steps; i++ {
+		if !s.Step() {
+			return pred()
+		}
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiescent reports whether no action is currently enabled (ignoring the
+// controller's ability to fast-forward to a timeout).
+func (s *Sim) Quiescent() bool {
+	return len(s.enabled(s.actBuf[:0])) == 0
+}

@@ -1,0 +1,214 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kofl/internal/checker"
+	"kofl/internal/core"
+	"kofl/internal/faults"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// TestStabilizationProperty is the repository's central property test: for
+// random topologies, parameters, fault configurations and schedules, the
+// full protocol must converge to the legitimate token census and afterwards
+// commit no safety violation and keep serving requests. This is Theorem 1
+// quantified over randomized instances.
+func TestStabilizationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	check := func(seed int64, nSel, lSel, kSel, cmaxSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nSel)%14
+		l := 1 + int(lSel)%6
+		k := 1 + int(kSel)%l
+		cmax := int(cmaxSel) % 6
+		tr := tree.Random(n, rng)
+		cfg := core.Config{K: k, L: l, CMAX: cmax, Features: core.Full()}
+		s := sim.MustNew(tr, cfg, sim.Options{Seed: seed})
+		faults.ArbitraryConfiguration(s, rng)
+		leg := checker.NewLegitimacy(s)
+		saf := checker.NewSafety(s)
+		grants := checker.NewGrants(s)
+		for p := 0; p < n; p++ {
+			workload.Attach(s, p, workload.Fixed(1+rng.Intn(k), int64(rng.Intn(6)), int64(rng.Intn(12)), 0))
+		}
+		budget := 8*s.TimeoutTicks() + 150_000
+		s.Run(budget)
+		at, ok := leg.ConvergedAt()
+		if !ok {
+			t.Logf("seed=%d n=%d k=%d l=%d cmax=%d: no convergence in %d steps (census %v)",
+				seed, n, k, l, cmax, budget, s.Census())
+			return false
+		}
+		if v := saf.ViolationsAfter(at); v > 0 {
+			t.Logf("seed=%d: %d safety violations after convergence at %d", seed, v, at)
+			return false
+		}
+		if grants.Total() == 0 {
+			t.Logf("seed=%d: no grants at all", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConservationFaultFree: in a fault-free legitimate run the token
+// populations are exactly (ℓ, 1, 1) after every single step — closure at the
+// census level.
+func TestConservationFaultFree(t *testing.T) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 3, L: 5, CMAX: 2, Features: core.NonStabilizing()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 8})
+	s.SeedLegitimate()
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%3, 4, 4, 0))
+	}
+	violations := 0
+	s.AddStepHook(func(s *sim.Sim) {
+		c := s.Census()
+		if c.Res() != 5 || c.FreePush != 1 || c.Prio() != 1 {
+			violations++
+		}
+	})
+	s.Run(60_000)
+	if violations != 0 {
+		t.Errorf("%d census violations in a fault-free non-stabilizing run", violations)
+	}
+}
+
+// TestClosureFullProtocol: once converged, the full protocol must never
+// reset again in a fault-free continuation (closure property, corrected
+// count order).
+func TestClosureFullProtocol(t *testing.T) {
+	tr := tree.Paper()
+	s := sim.MustNew(tr, fullCfg(3, 5), sim.Options{Seed: 21})
+	circ := checker.NewCirculations(s)
+	leg := checker.NewLegitimacy(s)
+	// The root requests too: the count-order erratum would break closure
+	// exactly here, so this test pins the corrected behavior.
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%3, 5, 3, 0))
+	}
+	s.Run(400_000)
+	if _, ok := leg.ConvergedAt(); !ok {
+		t.Fatal("did not converge")
+	}
+	if circ.Resets != 0 {
+		t.Errorf("%d resets in a fault-free run (closure violation)", circ.Resets)
+	}
+	if circ.Completed < 100 {
+		t.Errorf("only %d circulations completed", circ.Completed)
+	}
+}
+
+// TestPaperCountOrderBreaksClosure pins the A2 erratum finding as a
+// regression test: with the paper's printed accumulation order and a
+// requesting root, spurious resets occur.
+func TestPaperCountOrderBreaksClosure(t *testing.T) {
+	tr := tree.Paper()
+	cfg := fullCfg(3, 5)
+	cfg.Errata.PaperCountOrder = true
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 21})
+	circ := checker.NewCirculations(s)
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%3, 5, 3, 0))
+	}
+	s.Run(400_000)
+	if circ.Resets == 0 {
+		t.Error("expected spurious resets under the paper's count order (erratum E2)")
+	}
+}
+
+// TestRecoveryFromTokenLoss drops resource tokens mid-run; the controller
+// must restore the population without a reset (a deficit is topped up).
+func TestRecoveryFromTokenLoss(t *testing.T) {
+	tr := tree.Star(6)
+	s := sim.MustNew(tr, fullCfg(2, 4), sim.Options{Seed: 3})
+	leg := checker.NewLegitimacy(s)
+	if !s.RunUntil(500_000, func() bool { _, ok := leg.ConvergedAt(); return ok }) {
+		t.Fatal("bootstrap failed")
+	}
+	rng := rand.New(rand.NewSource(77))
+	dropped := faults.DropTokens(s, rng, message.Res, 2)
+	if dropped == 0 {
+		t.Skip("no free tokens to drop at this instant")
+	}
+	if s.TokensCorrect() {
+		t.Fatal("census still correct after drop")
+	}
+	if !s.RunUntil(4*s.TimeoutTicks()+200_000, s.TokensCorrect) {
+		t.Fatalf("never recovered from losing %d tokens", dropped)
+	}
+}
+
+// TestRecoveryFromTokenDuplication duplicates tokens mid-run; the controller
+// must detect the excess and reset back to exactly ℓ.
+func TestRecoveryFromTokenDuplication(t *testing.T) {
+	tr := tree.Star(6)
+	s := sim.MustNew(tr, fullCfg(2, 4), sim.Options{Seed: 4})
+	circ := checker.NewCirculations(s)
+	leg := checker.NewLegitimacy(s)
+	if !s.RunUntil(500_000, func() bool { _, ok := leg.ConvergedAt(); return ok }) {
+		t.Fatal("bootstrap failed")
+	}
+	rng := rand.New(rand.NewSource(78))
+	dup := faults.DuplicateTokens(s, rng, message.Res, 3)
+	if dup == 0 {
+		t.Skip("no free tokens to duplicate at this instant")
+	}
+	before := circ.Resets
+	if !s.RunUntil(6*s.TimeoutTicks()+300_000, s.TokensCorrect) {
+		t.Fatalf("never recovered from %d duplicated tokens (census %v)", dup, s.Census())
+	}
+	if circ.Resets == before {
+		t.Error("excess tokens repaired without a reset — the controller should have reset")
+	}
+}
+
+// TestRecoveryFromLostController kills every in-flight controller message;
+// the root timeout must regenerate the circulation.
+func TestRecoveryFromLostController(t *testing.T) {
+	tr := tree.Chain(5)
+	s := sim.MustNew(tr, fullCfg(1, 2), sim.Options{Seed: 5, TimeoutTicks: 2_000})
+	leg := checker.NewLegitimacy(s)
+	if !s.RunUntil(500_000, func() bool { _, ok := leg.ConvergedAt(); return ok }) {
+		t.Fatal("bootstrap failed")
+	}
+	rng := rand.New(rand.NewSource(79))
+	faults.DropTokens(s, rng, message.Ctrl, 1<<30)
+	circBefore := s.Delivered[message.Ctrl]
+	s.Run(20_000)
+	if s.Delivered[message.Ctrl] == circBefore {
+		t.Error("controller never regenerated after total loss")
+	}
+	if !s.TokensCorrect() {
+		// Give it more room: recovery may need another traversal.
+		if !s.RunUntil(100_000, s.TokensCorrect) {
+			t.Errorf("census wrong after controller recovery: %v", s.Census())
+		}
+	}
+}
+
+// TestGarbageOnlyChannelsConverge: legitimate process states but CMAX
+// garbage in every channel (the pure Gouda-Multari scenario).
+func TestGarbageOnlyChannelsConverge(t *testing.T) {
+	tr := tree.Balanced(2, 3)
+	cfg := core.Config{K: 2, L: 3, CMAX: 5, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 6})
+	rng := rand.New(rand.NewSource(80))
+	faults.GarbageChannels(s, rng, 5)
+	leg := checker.NewLegitimacy(s)
+	if !s.RunUntil(8*s.TimeoutTicks()+300_000, func() bool { _, ok := leg.ConvergedAt(); return ok }) {
+		t.Fatalf("no convergence from garbage channels: %v", s.Census())
+	}
+}

@@ -1,0 +1,156 @@
+package spantree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kofl/internal/graph"
+)
+
+func TestStabilizesFromZeroState(t *testing.T) {
+	g := graph.Grid(4, 4)
+	n := New(g, 1)
+	rounds, ok := n.Stabilize(100)
+	if !ok {
+		t.Fatal("no stabilization from the zero state")
+	}
+	t.Logf("stabilized in %d rounds", rounds)
+	if !n.Stable() {
+		t.Fatal("Stable() inconsistent")
+	}
+}
+
+func TestStabilizesFromCorruption(t *testing.T) {
+	g := graph.RandomConnected(20, 10, rand.New(rand.NewSource(2)))
+	n := New(g, 3)
+	n.Corrupt(rand.New(rand.NewSource(4)), 4)
+	if _, ok := n.Stabilize(200); !ok {
+		t.Fatal("no stabilization from corruption")
+	}
+	want := g.BFSDistances()
+	for u := 0; u < g.N(); u++ {
+		if n.Dist(u) != want[u] {
+			t.Errorf("dist[%d] = %d, want BFS %d", u, n.Dist(u), want[u])
+		}
+	}
+}
+
+func TestParentPointersFormBFSTree(t *testing.T) {
+	g := graph.Ring(9)
+	n := New(g, 5)
+	if _, ok := n.Stabilize(100); !ok {
+		t.Fatal("no stabilization")
+	}
+	want := g.BFSDistances()
+	for u := 1; u < g.N(); u++ {
+		par := n.ParentOf(u)
+		if par < 0 {
+			t.Fatalf("node %d has no parent", u)
+		}
+		if want[par] != want[u]-1 {
+			t.Errorf("parent of %d is %d (dist %d), not one closer", u, par, want[par])
+		}
+	}
+	if n.ParentOf(0) != -1 {
+		t.Error("root has a parent")
+	}
+}
+
+func TestExtractYieldsValidOrientedTree(t *testing.T) {
+	g := graph.Complete(7)
+	n := New(g, 6)
+	if _, ok := n.Stabilize(100); !ok {
+		t.Fatal("no stabilization")
+	}
+	tr, err := n.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 7 {
+		t.Errorf("tree size %d", tr.N())
+	}
+	// On a complete graph the BFS tree is a star rooted at 0.
+	if tr.Degree(0) != 6 || tr.Height() != 1 {
+		t.Errorf("complete-graph tree: rootDeg=%d height=%d, want star", tr.Degree(0), tr.Height())
+	}
+}
+
+func TestExtractRefusesUnstableLayer(t *testing.T) {
+	g := graph.Ring(8)
+	n := New(g, 7)
+	n.Corrupt(rand.New(rand.NewSource(8)), 2)
+	if n.Stable() {
+		t.Skip("corruption happened to be stable")
+	}
+	if _, err := n.Extract(); err == nil {
+		t.Error("Extract on unstable layer succeeded")
+	}
+}
+
+func TestBuildComposition(t *testing.T) {
+	g := graph.RandomConnected(16, 8, rand.New(rand.NewSource(9)))
+	tr, rounds, err := Build(g, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 0 {
+		t.Errorf("rounds = %d, want > 0 after corruption", rounds)
+	}
+	want := g.BFSDistances()
+	for u := 0; u < g.N(); u++ {
+		if tr.Depth(u) != want[u] {
+			t.Errorf("tree depth of %d = %d, want BFS %d", u, tr.Depth(u), want[u])
+		}
+	}
+}
+
+func TestBuildWithoutFaults(t *testing.T) {
+	g := graph.Grid(3, 3)
+	tr, _, err := Build(g, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 9 {
+		t.Errorf("tree size %d", tr.N())
+	}
+}
+
+func TestStabilizationBoundProperty(t *testing.T) {
+	// From any corruption on any random connected graph, the layer
+	// stabilizes within 4n+16 rounds and matches BFS exactly.
+	check := func(seed int64, nSel, extraSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nSel)%25
+		g := graph.RandomConnected(n, int(extraSel)%20, rng)
+		net := New(g, seed)
+		net.Corrupt(rng, 3)
+		_, ok := net.Stabilize(4*n + 16)
+		if !ok {
+			t.Logf("seed=%d n=%d: not stable", seed, n)
+			return false
+		}
+		want := g.BFSDistances()
+		for u := 0; u < n; u++ {
+			if net.Dist(u) != want[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundCountersAdvance(t *testing.T) {
+	g := graph.Ring(5)
+	n := New(g, 1)
+	n.Round()
+	if n.Beats != 5 {
+		t.Errorf("Beats = %d, want 5", n.Beats)
+	}
+	if n.Deliveries == 0 {
+		t.Error("no deliveries in a round")
+	}
+}

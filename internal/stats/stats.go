@@ -1,0 +1,157 @@
+// Package stats provides the small summary-statistics toolkit the experiment
+// tables are built from. It is intentionally minimal and stdlib-only.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates int64 samples and answers the usual questions.
+type Summary struct {
+	samples []int64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v int64) {
+	s.samples = append(s.samples, v)
+	s.sorted = false
+	s.sum += float64(v)
+}
+
+// AddAll records every sample of vs.
+func (s *Summary) AddAll(vs []int64) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean (0 for an empty summary).
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Min returns the smallest sample (0 for an empty summary).
+func (s *Summary) Min() int64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max returns the largest sample (0 for an empty summary).
+func (s *Summary) Max() int64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using the
+// nearest-rank method.
+func (s *Summary) Percentile(p float64) int64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.samples) {
+		rank = len(s.samples)
+	}
+	return s.samples[rank-1]
+}
+
+// Stddev returns the sample standard deviation (0 for < 2 samples).
+func (s *Summary) Stddev() float64 {
+	if len(s.samples) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.samples {
+		d := float64(v) - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s.samples)-1))
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// String renders "n=… mean=… p50=… p95=… max=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d max=%d",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Max())
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for the sample
+// vector: 1 for perfectly equal allocations, approaching 1/n under total
+// starvation of all but one participant. It is 0 for an empty or all-zero
+// vector by convention.
+func JainIndex(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Histogram counts samples into fixed-width buckets for quick shape checks.
+type Histogram struct {
+	Width   int64
+	Buckets map[int64]int64
+}
+
+// NewHistogram returns a histogram with the given bucket width (> 0).
+func NewHistogram(width int64) *Histogram {
+	if width <= 0 {
+		panic("stats: histogram width must be positive")
+	}
+	return &Histogram{Width: width, Buckets: map[int64]int64{}}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) { h.Buckets[v/h.Width]++ }
+
+// String renders the buckets in ascending order as "lo..hi:count".
+func (h *Histogram) String() string {
+	keys := make([]int64, 0, len(h.Buckets))
+	for k := range h.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d..%d:%d", k*h.Width, (k+1)*h.Width-1, h.Buckets[k])
+	}
+	return out
+}

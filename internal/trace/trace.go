@@ -1,0 +1,150 @@
+// Package trace records a structured log of a run — protocol events plus
+// message deliveries — for the kofltrace tool, for debugging, and for the
+// figure-style renderings of token circulation.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+)
+
+// Entry is one logged occurrence.
+type Entry struct {
+	Clock int64
+	// Proc and Ch locate the occurrence; Ch is -1 when not applicable.
+	Proc, Ch int
+	// Msg is set for deliveries; Event for protocol events.
+	IsDelivery bool
+	Msg        message.Message
+	Event      core.Event
+}
+
+// Log collects entries up to a cap (0 = unbounded). It implements both a
+// step hook (deliveries) and an observer (protocol events).
+type Log struct {
+	Entries []Entry
+	Cap     int
+	Dropped int64
+	tr      *tree.Tree
+}
+
+// New attaches a trace log to s, keeping at most cap entries (0 = all).
+func New(s *sim.Sim, cap int) *Log {
+	l := &Log{Cap: cap, tr: s.Tree}
+	s.AddStepHook(l.onStep)
+	s.AddObserver(l.onEvent)
+	return l
+}
+
+func (l *Log) push(e Entry) {
+	if l.Cap > 0 && len(l.Entries) >= l.Cap {
+		l.Dropped++
+		return
+	}
+	l.Entries = append(l.Entries, e)
+}
+
+func (l *Log) onStep(s *sim.Sim) {
+	if s.LastAction.Kind != sim.ActDeliver {
+		return
+	}
+	l.push(Entry{
+		Clock: s.Now(), Proc: s.LastAction.Proc, Ch: s.LastAction.Ch,
+		IsDelivery: true, Msg: s.LastMsg,
+	})
+}
+
+func (l *Log) onEvent(e core.Event) {
+	l.push(Entry{Clock: -1, Proc: e.P, Ch: -1, Event: e})
+}
+
+// eventName maps event kinds to short labels.
+func eventName(k core.EventKind) string {
+	switch k {
+	case core.EvRequest:
+		return "request"
+	case core.EvEnterCS:
+		return "enterCS"
+	case core.EvExitCS:
+		return "exitCS"
+	case core.EvReserve:
+		return "reserve"
+	case core.EvEvict:
+		return "evict"
+	case core.EvPrioAcquire:
+		return "prio+"
+	case core.EvPrioRelease:
+		return "prio-"
+	case core.EvCirculation:
+		return "circulation"
+	case core.EvCreate:
+		return "create"
+	case core.EvDrop:
+		return "drop"
+	case core.EvTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("event(%d)", k)
+	}
+}
+
+// Format renders entry e on one line using the log's tree for names.
+func (l *Log) Format(e Entry) string {
+	name := fmt.Sprintf("p%d", e.Proc)
+	if l.tr != nil {
+		name = l.tr.Name(e.Proc)
+	}
+	if e.IsDelivery {
+		return fmt.Sprintf("t=%-8d %-4s ch%d ← %v", e.Clock, name, e.Ch, e.Msg)
+	}
+	ev := e.Event
+	switch ev.Kind {
+	case core.EvCirculation:
+		return fmt.Sprintf("           %-4s %s res=%d prio=%d push=%d reset=%v",
+			name, eventName(ev.Kind), ev.N1, ev.N2, ev.N3, ev.Flag)
+	case core.EvCreate:
+		return fmt.Sprintf("           %-4s %s res=%d prio=%d push=%d",
+			name, eventName(ev.Kind), ev.N1, ev.N2, ev.N3)
+	default:
+		return fmt.Sprintf("           %-4s %s n1=%d", name, eventName(ev.Kind), ev.N1)
+	}
+}
+
+// String renders the whole log.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Entries {
+		b.WriteString(l.Format(e))
+		b.WriteByte('\n')
+	}
+	if l.Dropped > 0 {
+		fmt.Fprintf(&b, "... %d entries dropped (cap %d)\n", l.Dropped, l.Cap)
+	}
+	return b.String()
+}
+
+// TokenPath extracts the sequence of processes visited by deliveries of the
+// given message kind — the data behind the Figure 1 rendering.
+func (l *Log) TokenPath(kind message.Kind) []int {
+	var path []int
+	for _, e := range l.Entries {
+		if e.IsDelivery && e.Msg.Kind == kind {
+			path = append(path, e.Proc)
+		}
+	}
+	return path
+}
+
+// NamePath renders a process path using tree names ("r a b a c a r ...").
+func (l *Log) NamePath(path []int) string {
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = l.tr.Name(p)
+	}
+	return strings.Join(parts, " ")
+}

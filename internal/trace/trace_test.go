@@ -1,0 +1,115 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/trace"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+func naiveSingleToken(t *testing.T) (*sim.Sim, *trace.Log) {
+	t.Helper()
+	tr := tree.Paper()
+	cfg := core.Config{K: 1, L: 1, CMAX: 0, Features: core.Naive()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	s.Seed(tr.Root(), 0, message.NewRes())
+	return s, trace.New(s, 0)
+}
+
+func TestTokenPathFollowsEulerTour(t *testing.T) {
+	s, lg := naiveSingleToken(t)
+	tr := s.Tree
+	s.Run(int64(tr.RingLen()))
+	path := lg.TokenPath(message.Res)
+	if len(path) != tr.RingLen() {
+		t.Fatalf("path length %d, want %d", len(path), tr.RingLen())
+	}
+	// Deliveries land on the ring's To processes in order.
+	for i, v := range tr.EulerTour() {
+		if path[i] != v.To {
+			t.Fatalf("visit %d at %s, want %s", i, tr.Name(path[i]), tr.Name(v.To))
+		}
+	}
+	got := tr.Name(tr.Root()) + " " + lg.NamePath(path[:tr.RingLen()-1])
+	if got != "r a b a c a r d e d f d g d" {
+		t.Errorf("figure-1 path = %q", got)
+	}
+}
+
+func TestLogCapAndDropped(t *testing.T) {
+	tr := tree.Chain(3)
+	cfg := core.Config{K: 1, L: 1, CMAX: 0, Features: core.Naive()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	s.Seed(0, 0, message.NewRes())
+	lg := trace.New(s, 3)
+	s.Run(10)
+	if len(lg.Entries) != 3 {
+		t.Errorf("entries = %d, want cap 3", len(lg.Entries))
+	}
+	if lg.Dropped == 0 {
+		t.Error("Dropped not counted")
+	}
+	if !strings.Contains(lg.String(), "dropped") {
+		t.Error("String does not mention dropped entries")
+	}
+}
+
+func TestLogRecordsProtocolEvents(t *testing.T) {
+	tr := tree.Star(3)
+	cfg := core.Config{K: 1, L: 2, CMAX: 2, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 2, TimeoutTicks: 50})
+	lg := trace.New(s, 0)
+	workload.Attach(s, 1, workload.Fixed(1, 2, 2, 1))
+	s.Run(5_000)
+	var sawTimeout, sawCirc, sawEnter, sawDeliver bool
+	for _, e := range lg.Entries {
+		if e.IsDelivery {
+			sawDeliver = true
+			continue
+		}
+		switch e.Event.Kind {
+		case core.EvTimeout:
+			sawTimeout = true
+		case core.EvCirculation:
+			sawCirc = true
+		case core.EvEnterCS:
+			sawEnter = true
+		}
+	}
+	if !sawTimeout || !sawCirc || !sawEnter || !sawDeliver {
+		t.Errorf("missing entries: timeout=%v circ=%v enter=%v deliver=%v",
+			sawTimeout, sawCirc, sawEnter, sawDeliver)
+	}
+}
+
+func TestFormatRendering(t *testing.T) {
+	s, lg := naiveSingleToken(t)
+	s.Run(3)
+	out := lg.String()
+	if !strings.Contains(out, "⟨ResT⟩") {
+		t.Errorf("rendered log missing token delivery:\n%s", out)
+	}
+	// Uses the paper names.
+	if !strings.Contains(out, "a") {
+		t.Errorf("rendered log missing process names:\n%s", out)
+	}
+}
+
+func TestFormatEventLines(t *testing.T) {
+	tr := tree.Star(3)
+	cfg := core.Config{K: 1, L: 1, CMAX: 2, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 3, TimeoutTicks: 40})
+	lg := trace.New(s, 0)
+	s.Run(3_000)
+	out := lg.String()
+	for _, want := range []string{"circulation", "create", "timeout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out[:min(len(out), 800)])
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package tree implements the oriented rooted trees the protocol runs on.
+//
+// An oriented tree has a distinguished root process and every non-root
+// process knows which neighbor is its parent. Channels incident to a process
+// p are labeled 0..Degree(p)-1; a non-root process always labels the channel
+// to its parent 0, and its children follow in construction order. The root's
+// children occupy labels 0..Degree(root)-1.
+//
+// Token circulation follows DFS order: a token received on channel i leaves
+// on channel i+1 (mod Degree). The resulting closed walk over the tree's
+// directed edges is the "virtual ring" of the paper (Figure 4); it has
+// exactly 2(n-1) positions.
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// NoParent marks the root's parent slot.
+const NoParent = -1
+
+// Tree is an immutable oriented rooted tree over processes 0..N()-1.
+// Process 0 is always the root.
+type Tree struct {
+	parent   []int   // parent[p]; parent[root] == NoParent
+	children [][]int // children[p] in channel-label order
+	names    []string
+}
+
+// New builds a tree from a parent array. parents[0] must be NoParent (process
+// 0 is the root); every other entry must point to an existing process such
+// that the graph is a tree rooted at 0. Children are labeled in order of
+// process id.
+func New(parents []int) (*Tree, error) {
+	n := len(parents)
+	if n < 2 {
+		return nil, fmt.Errorf("tree: need at least 2 processes, got %d", n)
+	}
+	if parents[0] != NoParent {
+		return nil, fmt.Errorf("tree: process 0 must be the root (parent %d)", parents[0])
+	}
+	t := &Tree{
+		parent:   make([]int, n),
+		children: make([][]int, n),
+	}
+	copy(t.parent, parents)
+	for p := 1; p < n; p++ {
+		pp := parents[p]
+		if pp < 0 || pp >= n {
+			return nil, fmt.Errorf("tree: process %d has out-of-range parent %d", p, pp)
+		}
+		if pp == p {
+			return nil, fmt.Errorf("tree: process %d is its own parent", p)
+		}
+		t.children[pp] = append(t.children[pp], p)
+	}
+	// Verify connectivity (every process reaches the root without a cycle).
+	for p := 1; p < n; p++ {
+		seen := 0
+		for q := p; q != 0; q = t.parent[q] {
+			seen++
+			if seen > n {
+				return nil, fmt.Errorf("tree: cycle through process %d", p)
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on invalid input; for tests and fixed fixtures.
+func MustNew(parents []int) *Tree {
+	t, err := New(parents)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// N returns the number of processes.
+func (t *Tree) N() int { return len(t.parent) }
+
+// Root returns the root process id (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// IsRoot reports whether p is the root.
+func (t *Tree) IsRoot(p int) bool { return p == 0 }
+
+// Parent returns p's parent, or NoParent for the root.
+func (t *Tree) Parent(p int) int { return t.parent[p] }
+
+// Children returns p's children in channel-label order. The returned slice
+// must not be modified.
+func (t *Tree) Children(p int) []int { return t.children[p] }
+
+// Degree returns ∆p, the number of channels (neighbors) of p.
+func (t *Tree) Degree(p int) int {
+	if t.IsRoot(p) {
+		return len(t.children[p])
+	}
+	return len(t.children[p]) + 1
+}
+
+// Neighbor returns the process at the far end of p's channel ch.
+func (t *Tree) Neighbor(p, ch int) int {
+	if t.IsRoot(p) {
+		return t.children[p][ch]
+	}
+	if ch == 0 {
+		return t.parent[p]
+	}
+	return t.children[p][ch-1]
+}
+
+// ChannelTo returns the label of p's channel leading to neighbor q.
+// It panics if q is not a neighbor of p.
+func (t *Tree) ChannelTo(p, q int) int {
+	if !t.IsRoot(p) && t.parent[p] == q {
+		return 0
+	}
+	base := 0
+	if !t.IsRoot(p) {
+		base = 1
+	}
+	for i, c := range t.children[p] {
+		if c == q {
+			return base + i
+		}
+	}
+	panic(fmt.Sprintf("tree: %d is not a neighbor of %d", q, p))
+}
+
+// IsLeaf reports whether p has no children.
+func (t *Tree) IsLeaf(p int) bool { return len(t.children[p]) == 0 }
+
+// Depth returns the number of edges between p and the root.
+func (t *Tree) Depth(p int) int {
+	d := 0
+	for q := p; q != 0; q = t.parent[q] {
+		d++
+	}
+	return d
+}
+
+// Height returns the maximum depth over all processes.
+func (t *Tree) Height() int {
+	h := 0
+	for p := 0; p < t.N(); p++ {
+		if d := t.Depth(p); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// SetName attaches a display name to process p (used in traces and figures).
+func (t *Tree) SetName(p int, name string) {
+	if t.names == nil {
+		t.names = make([]string, t.N())
+	}
+	t.names[p] = name
+}
+
+// Name returns the display name of p, defaulting to "p<id>".
+func (t *Tree) Name(p int) string {
+	if t.names != nil && t.names[p] != "" {
+		return t.names[p]
+	}
+	return fmt.Sprintf("p%d", p)
+}
+
+// String renders the tree as nested parent(child...) notation.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(p int)
+	rec = func(p int) {
+		b.WriteString(t.Name(p))
+		if len(t.children[p]) == 0 {
+			return
+		}
+		b.WriteByte('(')
+		for i, c := range t.children[p] {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			rec(c)
+		}
+		b.WriteByte(')')
+	}
+	rec(0)
+	return b.String()
+}
+
+// RingLen returns the length of the virtual ring, 2(n-1).
+func (t *Tree) RingLen() int { return 2 * (t.N() - 1) }
+
+// Visit is one position of the virtual ring: process From sends on channel
+// FromCh, and process To receives on channel ToCh.
+type Visit struct {
+	From   int
+	FromCh int
+	To     int
+	ToCh   int
+}
+
+// EulerTour returns the virtual ring as the cyclic sequence of directed
+// edges a token traverses under the DFS rule, starting with the root's
+// channel 0. Its length is exactly RingLen().
+func (t *Tree) EulerTour() []Visit {
+	ring := make([]Visit, 0, t.RingLen())
+	p, ch := 0, 0
+	for {
+		q := t.Neighbor(p, ch)
+		in := t.ChannelTo(q, p)
+		ring = append(ring, Visit{From: p, FromCh: ch, To: q, ToCh: in})
+		// The receiver forwards on channel in+1 (mod ∆q).
+		p, ch = q, (in+1)%t.Degree(q)
+		if p == 0 && ch == 0 {
+			return ring
+		}
+		if len(ring) > t.RingLen() {
+			panic("tree: Euler tour exceeded ring length (corrupt tree)")
+		}
+	}
+}
+
+// TourNames renders the Euler tour as the sequence of visited process names
+// beginning at the root, as printed under Figure 4 of the paper.
+func (t *Tree) TourNames() []string {
+	ring := t.EulerTour()
+	names := make([]string, 0, len(ring))
+	for _, v := range ring {
+		names = append(names, t.Name(v.From))
+	}
+	return names
+}
+
+// Chain returns a path of n processes rooted at one end:
+// 0 - 1 - 2 - ... - n-1.
+func Chain(n int) *Tree {
+	parents := make([]int, n)
+	parents[0] = NoParent
+	for p := 1; p < n; p++ {
+		parents[p] = p - 1
+	}
+	return MustNew(parents)
+}
+
+// Star returns a star of n processes: root 0 with n-1 leaves.
+func Star(n int) *Tree {
+	parents := make([]int, n)
+	parents[0] = NoParent
+	for p := 1; p < n; p++ {
+		parents[p] = 0
+	}
+	return MustNew(parents)
+}
+
+// Balanced returns a balanced tree where every internal process has `arity`
+// children and leaves sit at distance `depth` from the root.
+func Balanced(arity, depth int) *Tree {
+	if arity < 1 || depth < 1 {
+		panic("tree: Balanced needs arity ≥ 1 and depth ≥ 1")
+	}
+	parents := []int{NoParent}
+	frontier := []int{0}
+	for d := 0; d < depth; d++ {
+		var next []int
+		for _, p := range frontier {
+			for i := 0; i < arity; i++ {
+				id := len(parents)
+				parents = append(parents, p)
+				next = append(next, id)
+			}
+		}
+		frontier = next
+	}
+	return MustNew(parents)
+}
+
+// Caterpillar returns a spine of `spine` processes each carrying `legs`
+// leaf children — a worst-ish case mixing depth and fanout.
+func Caterpillar(spine, legs int) *Tree {
+	if spine < 1 {
+		panic("tree: Caterpillar needs spine ≥ 1")
+	}
+	parents := []int{NoParent}
+	prev := 0
+	spineIDs := []int{0}
+	for s := 1; s < spine; s++ {
+		id := len(parents)
+		parents = append(parents, prev)
+		prev = id
+		spineIDs = append(spineIDs, id)
+	}
+	for _, s := range spineIDs {
+		for l := 0; l < legs; l++ {
+			parents = append(parents, s)
+		}
+	}
+	if len(parents) < 2 {
+		parents = append(parents, 0)
+	}
+	return MustNew(parents)
+}
+
+// Random returns a uniformly random recursive tree of n processes: process p
+// attaches to a uniform parent among 0..p-1.
+func Random(n int, rng *rand.Rand) *Tree {
+	if n < 2 {
+		panic("tree: Random needs n ≥ 2")
+	}
+	parents := make([]int, n)
+	parents[0] = NoParent
+	for p := 1; p < n; p++ {
+		parents[p] = rng.Intn(p)
+	}
+	return MustNew(parents)
+}
+
+// Paper returns the 8-process tree of Figures 1, 2 and 4 of the paper:
+//
+//	r has children a and d; a has children b and c; d has children e, f, g.
+//
+// Names follow the paper. Its Euler tour is
+// r a b a c a r d e d f d g d (Figure 4).
+func Paper() *Tree {
+	// ids: r=0 a=1 d=2 b=3 c=4 e=5 f=6 g=7
+	t := MustNew([]int{NoParent, 0, 0, 1, 1, 2, 2, 2})
+	for p, name := range map[int]string{0: "r", 1: "a", 2: "d", 3: "b", 4: "c", 5: "e", 6: "f", 7: "g"} {
+		t.SetName(p, name)
+	}
+	return t
+}
+
+// PaperID resolves a paper process name (r, a, b, ...) on the Paper tree.
+func PaperID(name string) int {
+	ids := map[string]int{"r": 0, "a": 1, "d": 2, "b": 3, "c": 4, "e": 5, "f": 6, "g": 7}
+	id, ok := ids[name]
+	if !ok {
+		panic("tree: unknown paper process " + name)
+	}
+	return id
+}

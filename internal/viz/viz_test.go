@@ -1,0 +1,81 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/viz"
+	"kofl/internal/workload"
+)
+
+func TestTreeRendering(t *testing.T) {
+	out := viz.Tree(tree.Paper())
+	if !strings.Contains(out, "r (root)") {
+		t.Errorf("missing root line:\n%s", out)
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("missing process %s:\n%s", name, out)
+		}
+	}
+	// Every non-root line carries its channel annotation.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("%d lines, want 8:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "ch0↑") {
+			t.Errorf("line missing parent channel: %q", l)
+		}
+	}
+}
+
+func TestRingRendering(t *testing.T) {
+	out := viz.Ring(tree.Paper())
+	if !strings.HasPrefix(out, "r →0 a") {
+		t.Errorf("ring = %q", out)
+	}
+	// 14 hops for the paper tree.
+	if got := strings.Count(out, "→"); got != 14 {
+		t.Errorf("%d hops, want 14", got)
+	}
+	// The last hop returns to the root on d's upward channel 0.
+	if !strings.HasSuffix(out, "→0 r") {
+		t.Errorf("ring does not close at the root: %q", out)
+	}
+}
+
+func TestSnapshotShowsTokens(t *testing.T) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 3, L: 5, N: tr.N(), CMAX: 2, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	s.Seed(0, 0, message.NewRes(), message.NewPush(), message.NewPrio())
+	out := viz.Snapshot(s)
+	for _, glyph := range []string{"●", "▶", "★"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("snapshot missing %s:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, "virtual ring") || !strings.Contains(out, "processes:") {
+		t.Errorf("snapshot structure wrong:\n%s", out)
+	}
+}
+
+func TestSnapshotShowsReservations(t *testing.T) {
+	tr := tree.Star(3)
+	cfg := core.Config{K: 2, L: 2, N: tr.N(), CMAX: 2, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 2})
+	workload.Attach(s, 1, workload.Fixed(2, 1<<40, 0, 1))
+	s.Run(60_000)
+	out := viz.Snapshot(s)
+	if !strings.Contains(out, "●●") {
+		t.Errorf("snapshot missing double reservation:\n%s", out)
+	}
+	if !strings.Contains(out, "In") {
+		t.Errorf("snapshot missing CS state:\n%s", out)
+	}
+}

@@ -1,0 +1,178 @@
+// Package workload provides the simulated applications that drive requests
+// against the protocol: generic generators (saturating, random think-time,
+// one-shot) and the exact scenarios of the paper's figures.
+//
+// An application is a small state machine around the paper's interface: it
+// switches State from Out to Req (via Handle.Request), the protocol grants
+// the critical section by calling EnterCS, and the application signals
+// completion by answering ReleaseCS()=true and polling the protocol.
+package workload
+
+import (
+	"math/rand"
+
+	"kofl/internal/sim"
+)
+
+// Phase tracks where an application stands in its request cycle.
+type Phase uint8
+
+const (
+	// Idle: State=Out, thinking (or done).
+	Idle Phase = iota
+	// Waiting: request issued, not yet granted.
+	Waiting
+	// Critical: inside the critical section.
+	Critical
+)
+
+// retryBackoff delays re-issuing a request after the protocol refused one
+// (possible only while a transient fault left the process outside Out).
+const retryBackoff = 64
+
+// Cycle is a generic request loop: think, request NeedFn units, hold the
+// critical section for HoldFn steps, release, repeat (up to MaxRequests
+// grants). Durations are measured on the simulation clock; randomness (if
+// any) comes from the generator's own seeded RNG so runs stay reproducible.
+type Cycle struct {
+	// NeedFn yields the size of the i-th request (1-based).
+	NeedFn func(i int) int
+	// HoldFn yields the critical-section duration in simulation steps.
+	HoldFn func(i int) int64
+	// ThinkFn yields the pause before the next request.
+	ThinkFn func(i int) int64
+	// MaxRequests stops the loop after that many issued requests
+	// (0 = unbounded; negative = never issue requests at all, making the
+	// Cycle a pure releaser for requests issued externally through a
+	// sim.Handle — useful to reproduce the paper's figure configurations
+	// where processes START in the Req state).
+	MaxRequests int
+
+	clock     func() int64
+	phase     Phase
+	requests  int
+	enteredAt int64
+	readyAt   int64
+	inCS      bool
+	csOver    bool
+
+	// Stats.
+	Grants    int   // completed critical sections
+	Issued    int   // requests issued
+	Enters    int   // critical sections entered
+	LastEnter int64 // clock of the most recent entry
+}
+
+// NewCycle returns a Cycle with the given closures; a nil HoldFn means
+// zero-length critical sections and a nil ThinkFn no think time.
+func NewCycle(needFn func(int) int, holdFn, thinkFn func(int) int64, maxRequests int) *Cycle {
+	if holdFn == nil {
+		holdFn = func(int) int64 { return 0 }
+	}
+	if thinkFn == nil {
+		thinkFn = func(int) int64 { return 0 }
+	}
+	return &Cycle{NeedFn: needFn, HoldFn: holdFn, ThinkFn: thinkFn, MaxRequests: maxRequests}
+}
+
+// Fixed returns a Cycle that always requests need units, holds for hold
+// steps and thinks for think steps between requests.
+func Fixed(need int, hold, think int64, maxRequests int) *Cycle {
+	return NewCycle(func(int) int { return need },
+		func(int) int64 { return hold },
+		func(int) int64 { return think }, maxRequests)
+}
+
+// Uniform returns a Cycle requesting uniformly in [1..maxNeed] units with
+// hold/think times uniform in [0..maxHold]/[0..maxThink], drawn from rng.
+func Uniform(maxNeed int, maxHold, maxThink int64, rng *rand.Rand, maxRequests int) *Cycle {
+	return NewCycle(
+		func(int) int { return 1 + rng.Intn(maxNeed) },
+		func(int) int64 {
+			if maxHold <= 0 {
+				return 0
+			}
+			return rng.Int63n(maxHold + 1)
+		},
+		func(int) int64 {
+			if maxThink <= 0 {
+				return 0
+			}
+			return rng.Int63n(maxThink + 1)
+		},
+		maxRequests)
+}
+
+// Phase returns where the application currently stands.
+func (c *Cycle) CurrentPhase() Phase { return c.phase }
+
+// EnterCS implements core.App: the protocol granted the request.
+func (c *Cycle) EnterCS() {
+	c.inCS = true
+	c.csOver = false
+	c.phase = Critical
+	c.Enters++
+	if c.clock != nil {
+		c.enteredAt = c.clock()
+		c.LastEnter = c.enteredAt
+	}
+}
+
+// ReleaseCS implements core.App.
+func (c *Cycle) ReleaseCS() bool { return !c.inCS || c.csOver }
+
+// Enabled implements sim.App.
+func (c *Cycle) Enabled(now int64) bool {
+	switch c.phase {
+	case Idle:
+		if c.MaxRequests < 0 {
+			return false // release-only: requests are issued externally
+		}
+		if c.MaxRequests > 0 && c.requests >= c.MaxRequests {
+			return false
+		}
+		return now >= c.readyAt
+	case Critical:
+		return now >= c.enteredAt+c.HoldFn(c.requests)
+	default:
+		return false
+	}
+}
+
+// Act implements sim.App.
+func (c *Cycle) Act(h Handle) {
+	switch c.phase {
+	case Idle:
+		c.requests++
+		c.Issued++
+		c.phase = Waiting
+		if err := h.Request(c.NeedFn(c.requests)); err != nil {
+			// Only possible while a transient fault has the process outside
+			// Out; back off and let the protocol converge.
+			c.phase = Idle
+			c.requests--
+			c.Issued--
+			c.readyAt = h.Now() + retryBackoff
+		}
+	case Critical:
+		c.csOver = true
+		c.inCS = false
+		c.Grants++
+		c.phase = Idle
+		c.readyAt = h.Now() + c.ThinkFn(c.requests)
+		h.Poll()
+	}
+}
+
+// Handle aliases sim.Handle for callers of this package.
+type Handle = sim.Handle
+
+// Attach binds c to process p of s (giving it the simulation clock) and
+// installs it as p's application.
+func Attach(s *sim.Sim, p int, c *Cycle) *Cycle {
+	c.clock = s.Now
+	s.AttachApp(p, c)
+	return c
+}
+
+var _ sim.App = (*Cycle)(nil)

@@ -1,0 +1,164 @@
+// Package kofl is a self-stabilizing k-out-of-ℓ exclusion library for
+// oriented tree networks — an implementation of Datta, Devismes, Horn and
+// Larmore, "Self-Stabilizing k-out-of-ℓ Exclusion on Tree Networks"
+// (IPPS 2009, arXiv:0812.1093).
+//
+// There are ℓ units of a shared resource; any process of the tree may
+// request up to k ≤ ℓ units at a time. The protocol circulates ℓ resource
+// tokens in DFS order over the tree's virtual ring, a pusher token that
+// breaks deadlocks, a priority token that breaks livelocks, and a
+// counter-flushing controller that makes the whole construction
+// self-stabilizing: from any corrupted state — arbitrary process memory,
+// up to CMAX garbage messages per channel — the system converges to exactly
+// (ℓ, 1, 1) tokens and then satisfies safety, fairness and (k,ℓ)-liveness.
+//
+// Two execution substrates are provided:
+//
+//   - System — a deterministic simulated network with an adversarial
+//     scheduler; runs are reproducible from a seed, and monitors report
+//     convergence, waiting time and safety. This is what the experiments
+//     and benchmarks use.
+//   - Live — a goroutine-per-process runtime over buffered Go channels with
+//     wire-encoded frames and a wall-clock root timeout.
+//
+// Quickstart:
+//
+//	tr := kofl.Star(8)
+//	sys, _ := kofl.New(tr, kofl.Options{K: 2, L: 3})
+//	sys.Request(3, 2)          // process 3 asks for 2 units
+//	sys.Run(100_000)           // let the adversary schedule
+//	m := sys.Metrics()         // grants, waiting time, resets, census
+package kofl
+
+import (
+	"kofl/internal/core"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+)
+
+// Tree is an oriented rooted tree; process 0 is the root, a non-root
+// process's channel 0 leads to its parent.
+type Tree = tree.Tree
+
+// NewTree builds a tree from a parent array (parents[0] must be
+// tree.NoParent, i.e. -1).
+func NewTree(parents []int) (*Tree, error) { return tree.New(parents) }
+
+// Chain returns a path of n processes rooted at one end.
+func Chain(n int) *Tree { return tree.Chain(n) }
+
+// Star returns a root with n-1 leaf children.
+func Star(n int) *Tree { return tree.Star(n) }
+
+// Balanced returns a balanced tree of the given arity and depth.
+func Balanced(arity, depth int) *Tree { return tree.Balanced(arity, depth) }
+
+// Caterpillar returns a spine of `spine` processes with `legs` leaves each.
+func Caterpillar(spine, legs int) *Tree { return tree.Caterpillar(spine, legs) }
+
+// PaperTree returns the 8-process example tree of the paper's figures.
+func PaperTree() *Tree { return tree.Paper() }
+
+// Variant selects the protocol rung from the paper's incremental
+// construction. The zero value is the full self-stabilizing protocol.
+type Variant uint8
+
+const (
+	// FullProtocol is the complete self-stabilizing protocol (default).
+	FullProtocol Variant = iota
+	// NaiveVariant circulates resource tokens only (deadlocks; Figure 2).
+	NaiveVariant
+	// PusherVariant adds the pusher token (livelocks; Figure 3).
+	PusherVariant
+	// NonStabilizingVariant adds the priority token but no controller:
+	// correct while fault-free, not self-stabilizing.
+	NonStabilizingVariant
+)
+
+func (v Variant) features() core.Features {
+	switch v {
+	case NaiveVariant:
+		return core.Naive()
+	case PusherVariant:
+		return core.PusherOnly()
+	case NonStabilizingVariant:
+		return core.NonStabilizing()
+	default:
+		return core.Full()
+	}
+}
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case NaiveVariant:
+		return "naive"
+	case PusherVariant:
+		return "pusher"
+	case NonStabilizingVariant:
+		return "non-stabilizing"
+	default:
+		return "full"
+	}
+}
+
+// Errata selects paper-literal pseudocode behaviors; see DESIGN.md §4.
+type Errata = core.Errata
+
+// State is a process's application-interface state.
+type State = core.State
+
+// The three interface states of the paper.
+const (
+	Out = core.Out
+	Req = core.Req
+	In  = core.In
+)
+
+// Census is a snapshot of the global token population.
+type Census = sim.Census
+
+// Scheduler is the simulation's asynchrony adversary; see the sim package's
+// RandomScheduler, RoundRobinScheduler, ScriptScheduler and
+// AntiTargetScheduler.
+type Scheduler = sim.Scheduler
+
+// Options configures a System or a Live network.
+type Options struct {
+	// K is the per-request cap, L the number of resource units (1 ≤ K ≤ L).
+	K, L int
+	// CMAX bounds initial garbage per channel (default 4); it sizes the
+	// counter-flushing domain.
+	CMAX int
+	// Seed drives the simulation's randomness (System only).
+	Seed int64
+	// Variant selects the protocol rung (default: full protocol).
+	Variant Variant
+	// Errata switches to paper-literal pseudocode (default: corrected).
+	Errata Errata
+	// TimeoutTicks overrides the root's retransmission timeout in scheduler
+	// steps (System only; 0 = topology-derived default).
+	TimeoutTicks int64
+	// Scheduler overrides the asynchrony adversary (System only;
+	// nil = seeded uniform random).
+	Scheduler Scheduler
+}
+
+func (o Options) config(t *Tree) core.Config {
+	cmax := o.CMAX
+	if cmax == 0 {
+		cmax = 4
+	}
+	return core.Config{
+		K: o.K, L: o.L, N: t.N(), CMAX: cmax,
+		Features: o.Variant.features(),
+		Errata:   o.Errata,
+	}
+}
+
+// WaitingBound returns Theorem 2's worst-case waiting time ℓ(2n-3)² for a
+// stabilized system of n processes and ℓ units.
+func WaitingBound(n, l int) int64 {
+	d := int64(2*n - 3)
+	return int64(l) * d * d
+}

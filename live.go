@@ -1,0 +1,34 @@
+package kofl
+
+import (
+	"time"
+
+	"kofl/internal/runtime"
+)
+
+// Live is a goroutine-per-process protocol instance over buffered Go
+// channels: real concurrency, wire-encoded frames, wall-clock root timeout.
+// See runtime.Net for the full method set (Start, Stop, Request, Release,
+// OnEnter, Grants, InjectGarbage, InjectNoise).
+type Live = runtime.Net
+
+// LiveOptions configures a Live network.
+type LiveOptions struct {
+	Options
+	// Timeout is the root's wall-clock retransmission timeout
+	// (default 25ms).
+	Timeout time.Duration
+	// LinkBuffer is the per-link frame buffer (default 256).
+	LinkBuffer int
+}
+
+// NewLive builds a live network over t. Call Start to launch it; the system
+// bootstraps its tokens through the root timeout. Only the full
+// (self-stabilizing) variant is supported live — the other rungs exist for
+// the simulator's ablations.
+func NewLive(t *Tree, opts LiveOptions) (*Live, error) {
+	return runtime.New(t, opts.Options.config(t), runtime.Options{
+		Timeout:    opts.Timeout,
+		LinkBuffer: opts.LinkBuffer,
+	})
+}

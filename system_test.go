@@ -1,0 +1,229 @@
+package kofl_test
+
+import (
+	"strings"
+	"testing"
+
+	"kofl"
+)
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := kofl.New(kofl.Chain(4), kofl.Options{K: 0, L: 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := kofl.New(kofl.Chain(4), kofl.Options{K: 3, L: 2}); err == nil {
+		t.Error("k>ℓ accepted")
+	}
+	if _, err := kofl.New(kofl.Chain(4), kofl.Options{K: 1, L: 1}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	kofl.MustNew(kofl.Chain(4), kofl.Options{K: 0, L: 0})
+}
+
+func TestManualRequestReleaseFlow(t *testing.T) {
+	sys := kofl.MustNew(kofl.Star(6), kofl.Options{K: 2, L: 3, Seed: 1})
+	entered := false
+	sys.OnEnter(2, func() { entered = true })
+	if err := sys.Request(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sys.StateOf(2) != kofl.Req {
+		t.Fatalf("state = %v, want Req", sys.StateOf(2))
+	}
+	for i := 0; i < 200_000 && !sys.InCS(2); i++ {
+		sys.Step()
+	}
+	if !sys.InCS(2) || !entered {
+		t.Fatal("request never granted")
+	}
+	if sys.UnitsHeld(2) != 2 {
+		t.Errorf("UnitsHeld = %d, want 2", sys.UnitsHeld(2))
+	}
+	// Double request while In is rejected by the protocol.
+	if err := sys.Request(2, 1); err == nil {
+		t.Error("request while In accepted")
+	}
+	sys.Release(2)
+	if sys.InCS(2) {
+		t.Error("still in CS after Release")
+	}
+	sys.Run(10_000)
+	if got := sys.Census().Res(); got != 3 {
+		t.Errorf("tokens after release = %d, want 3", got)
+	}
+}
+
+func TestSaturateReplacesManualApp(t *testing.T) {
+	sys := kofl.MustNew(kofl.Chain(5), kofl.Options{K: 1, L: 2, Seed: 2})
+	sys.Saturate(3, 1, 2, 2, 0)
+	if err := sys.Request(3, 1); err == nil {
+		t.Error("manual request on a generator-driven process accepted")
+	}
+	sys.Release(3) // must be a no-op, not a panic
+	sys.Run(100_000)
+	if sys.Metrics().Grants[3] == 0 {
+		t.Error("generator produced no grants")
+	}
+}
+
+func TestVariantsBehave(t *testing.T) {
+	// The naive variant is seeded with ℓ tokens; with an unsatisfiable
+	// request pattern it runs into a quiescent deadlock (Figure 2 in
+	// miniature: the single token is reserved by a process that needs two).
+	naive := kofl.MustNew(kofl.Chain(4), kofl.Options{K: 2, L: 2, Variant: kofl.NaiveVariant, Seed: 3})
+	if c := naive.Census().Res(); c != 2 {
+		t.Errorf("naive variant seeded %d tokens, want ℓ=2", c)
+	}
+	_ = naive.Request(1, 2)
+	_ = naive.Request(3, 2)
+	ran := naive.Run(100_000)
+	if ran == 100_000 || !naive.Sim().Quiescent() {
+		t.Error("naive variant with split reservations should deadlock quiescently")
+	}
+	if naive.InCS(1) || naive.InCS(3) {
+		t.Skip("tokens happened to land on one process; no deadlock this seed")
+	}
+	// The full protocol never quiesces: the controller circulates forever.
+	full := kofl.MustNew(kofl.Chain(4), kofl.Options{K: 1, L: 1, Seed: 3})
+	if full.Run(1_000) != 1_000 {
+		t.Error("full protocol quiesced")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	cases := map[kofl.Variant]string{
+		kofl.FullProtocol:          "full",
+		kofl.NaiveVariant:          "naive",
+		kofl.PusherVariant:         "pusher",
+		kofl.NonStabilizingVariant: "non-stabilizing",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMetricsAndConvergence(t *testing.T) {
+	sys := kofl.MustNew(kofl.PaperTree(), kofl.Options{K: 3, L: 5, Seed: 4})
+	for p := 0; p < 8; p++ {
+		sys.Saturate(p, 1+p%3, 3, 5, 0)
+	}
+	if !sys.RunUntilConverged(1_000_000) {
+		t.Fatal("no convergence")
+	}
+	sys.Run(50_000)
+	m := sys.Metrics()
+	if !m.Converged || m.ConvergedAt <= 0 {
+		t.Errorf("metrics: converged=%v at=%d", m.Converged, m.ConvergedAt)
+	}
+	if m.TotalGrants == 0 || len(m.Grants) != 8 {
+		t.Errorf("grants: %v", m.Grants)
+	}
+	if m.WaitingBound != kofl.WaitingBound(8, 5) {
+		t.Errorf("bound = %d", m.WaitingBound)
+	}
+	if m.MaxWaiting > m.WaitingBound {
+		t.Errorf("waiting %d exceeds bound %d", m.MaxWaiting, m.WaitingBound)
+	}
+	if m.SafetyViolationsAfterConvergence != 0 {
+		t.Errorf("%d safety violations after convergence", m.SafetyViolationsAfterConvergence)
+	}
+	if m.Census.Res() != 5 {
+		t.Errorf("census: %v", m.Census)
+	}
+	if s := m.String(); !strings.Contains(s, "grants=") {
+		t.Errorf("Metrics.String = %q", s)
+	}
+}
+
+func TestFaultInjectionAndRecovery(t *testing.T) {
+	sys := kofl.MustNew(kofl.Star(8), kofl.Options{K: 2, L: 4, Seed: 5})
+	for p := 0; p < 8; p++ {
+		sys.Saturate(p, 1+p%2, 2, 6, 0)
+	}
+	if !sys.RunUntilConverged(1_000_000) {
+		t.Fatal("bootstrap failed")
+	}
+	sys.InjectArbitraryFaults(77)
+	// Run past recovery and re-check.
+	sys.Run(sys.Sim().TimeoutTicks()*8 + 200_000)
+	if got := sys.Census(); got.Res() != 4 || got.FreePush != 1 || got.Prio() != 1 {
+		t.Errorf("census after recovery = %v", got)
+	}
+}
+
+func TestDropAndDuplicateHelpers(t *testing.T) {
+	sys := kofl.MustNew(kofl.Chain(5), kofl.Options{K: 1, L: 3, Seed: 6})
+	if !sys.RunUntilConverged(1_000_000) {
+		t.Fatal("bootstrap failed")
+	}
+	if n := sys.DropResourceTokens(1, 1); n > 1 {
+		t.Errorf("dropped %d, asked 1", n)
+	}
+	sys.Run(sys.Sim().TimeoutTicks()*6 + 100_000)
+	if got := sys.Census().Res(); got != 3 {
+		t.Errorf("tokens after drop+recovery = %d, want 3", got)
+	}
+	if n := sys.DuplicateResourceTokens(2, 2); n > 2 {
+		t.Errorf("duplicated %d, asked 2", n)
+	}
+	sys.Run(sys.Sim().TimeoutTicks()*8 + 200_000)
+	if got := sys.Census().Res(); got != 3 {
+		t.Errorf("tokens after dup+recovery = %d, want 3", got)
+	}
+}
+
+func TestWaitingBound(t *testing.T) {
+	if got := kofl.WaitingBound(8, 5); got != 845 {
+		t.Errorf("WaitingBound(8,5) = %d, want 845", got)
+	}
+	if got := kofl.WaitingBound(2, 1); got != 1 {
+		t.Errorf("WaitingBound(2,1) = %d, want 1", got)
+	}
+}
+
+func TestTreeConstructors(t *testing.T) {
+	if kofl.Chain(5).N() != 5 || kofl.Star(5).N() != 5 {
+		t.Error("chain/star size")
+	}
+	if kofl.Balanced(2, 2).N() != 7 {
+		t.Error("balanced size")
+	}
+	if kofl.Caterpillar(2, 2).N() != 6 {
+		t.Error("caterpillar size")
+	}
+	if kofl.PaperTree().N() != 8 {
+		t.Error("paper tree size")
+	}
+	if _, err := kofl.NewTree([]int{-1, 0, 1}); err != nil {
+		t.Errorf("NewTree: %v", err)
+	}
+	if _, err := kofl.NewTree([]int{-1, 5}); err == nil {
+		t.Error("invalid parent array accepted")
+	}
+}
+
+func TestZeroNeedRequestGrantsImmediately(t *testing.T) {
+	sys := kofl.MustNew(kofl.Chain(3), kofl.Options{K: 1, L: 1, Seed: 7})
+	granted := false
+	sys.OnEnter(1, func() { granted = true })
+	if err := sys.Request(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !granted || !sys.InCS(1) {
+		t.Error("zero-need request not granted synchronously")
+	}
+	sys.Release(1)
+	if sys.StateOf(1) != kofl.Out {
+		t.Errorf("state = %v after release", sys.StateOf(1))
+	}
+}
