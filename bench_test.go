@@ -11,8 +11,13 @@
 package kofl_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"kofl"
 	"kofl/internal/core"
@@ -211,6 +216,117 @@ func BenchmarkBaselineRing(b *testing.B) {
 func BenchmarkExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.Extension(int64(i), true)
+	}
+}
+
+// campaignBenchSpec is the standard parallel-speedup workload: a 64-cell
+// grid (8 topologies × 4 (k,ℓ) pairs × 2 storm schedules) of short
+// independent runs — enough cells that the worker pool, not any single run,
+// dominates wall-clock time.
+func campaignBenchSpec() kofl.CampaignSpec {
+	var topos []kofl.CampaignTopology
+	for _, n := range []int{8, 12, 16, 24} {
+		topos = append(topos,
+			kofl.CampaignTopology{Kind: "chain", N: n},
+			kofl.CampaignTopology{Kind: "star", N: n})
+	}
+	return kofl.CampaignSpec{
+		Name:       "BENCH-campaign",
+		Topologies: topos,
+		KL:         []kofl.CampaignKL{{K: 1, L: 1}, {K: 2, L: 3}, {K: 3, L: 5}, {K: 2, L: 8}},
+		Seeds:      kofl.CampaignSeeds{First: 1, Count: 1},
+		Steps:      10_000,
+		Workload:   kofl.CampaignWorkload{Need: 0, Hold: 2, Think: 4},
+		Faults:     kofl.CampaignFaults{StormPeriods: []int64{0, 4_000}},
+	}
+}
+
+// BenchmarkCampaignSpeedup measures the campaign engine's parallel speedup:
+// the 64-cell standard grid at 1 worker vs 4 workers. It verifies the
+// determinism contract (byte-identical aggregate JSON across worker counts),
+// reports the speedup as a custom metric, and records the numbers in
+// BENCH_campaign.json so the perf trajectory tracks parallel scaling across
+// PRs. On a single-core machine the speedup is necessarily ~1×; the recorded
+// gomaxprocs field qualifies the measurement.
+func BenchmarkCampaignSpeedup(b *testing.B) {
+	spec := campaignBenchSpec()
+	cells, err := spec.Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cells) < 64 {
+		b.Fatalf("bench spec has %d cells, want ≥ 64", len(cells))
+	}
+	var secs1, secs4 float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rep1, err := kofl.RunCampaign(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs1 = time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		rep4, err := kofl.RunCampaign(spec, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs4 = time.Since(t0).Seconds()
+
+		j1, err := rep1.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		j4, err := rep4.JSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(j1, j4) {
+			b.Fatal("aggregate JSON differs between 1 and 4 workers")
+		}
+	}
+	speedup := secs1 / secs4
+	b.ReportMetric(speedup, "speedup-4w")
+	b.ReportMetric(secs1, "secs-1w")
+	b.ReportMetric(secs4, "secs-4w")
+
+	record := struct {
+		Name       string  `json:"name"`
+		Cells      int     `json:"cells"`
+		RunsPer    int     `json:"runs_per_cell"`
+		Steps      int64   `json:"steps_per_run"`
+		Secs1W     float64 `json:"secs_1_worker"`
+		Secs4W     float64 `json:"secs_4_workers"`
+		Speedup4W  float64 `json:"speedup_4_workers"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+	}{
+		Name:       spec.Name,
+		Cells:      len(cells),
+		RunsPer:    spec.Seeds.Count,
+		Steps:      spec.Steps,
+		Secs1W:     secs1,
+		Secs4W:     secs4,
+		Speedup4W:  speedup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_campaign.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCampaignRun measures one full standard-grid campaign at the
+// default worker count (one per logical CPU) — the number CI watches for
+// regressions in per-run cost.
+func BenchmarkCampaignRun(b *testing.B) {
+	spec := campaignBenchSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := kofl.RunCampaign(spec, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module kofl
+
+go 1.24

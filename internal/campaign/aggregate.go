@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"math"
+
+	"kofl/internal/stats"
+)
+
+// CellResult is one grid cell's aggregate over its seed sweep, plus the
+// per-run results it was computed from (in seed order).
+type CellResult struct {
+	Cell         Cell   `json:"cell"`
+	Label        string `json:"label"`
+	N            int    `json:"n"`
+	RingLen      int    `json:"ring_len"`
+	WaitingBound int64  `json:"waiting_bound"`
+
+	// Totals over all runs of the cell.
+	TotalGrants   int64 `json:"total_grants"`
+	TotalResets   int64 `json:"total_resets"`
+	TotalTimeouts int64 `json:"total_timeouts"`
+	TotalStorms   int64 `json:"total_storms"`
+	TotalSafety   int   `json:"total_safety_violations"`
+	TotalRes      int64 `json:"total_delivered_res"`
+	TotalCtrl     int64 `json:"total_delivered_ctrl"`
+
+	// Distributions over runs.
+	Grants      stats.Dist `json:"grants"`
+	Convergence stats.Dist `json:"convergence"` // ConvergedAt of converged runs
+	Diverged    int        `json:"diverged"`    // runs that never converged
+	MaxWaiting  int64      `json:"max_waiting"` // worst over all runs
+
+	// Derived ratios (0 when undefined).
+	WaitingRatio float64 `json:"waiting_ratio"` // MaxWaiting / WaitingBound
+	ResPerGrant  float64 `json:"res_per_grant"`
+	CtrlPerGrant float64 `json:"ctrl_per_grant"`
+	Availability float64 `json:"availability"` // mean legit-step fraction
+	MeanJain     float64 `json:"mean_jain"`
+
+	Runs []RunResult `json:"runs"`
+}
+
+// Report is the order-independent campaign outcome: the normalized spec and
+// one CellResult per grid cell, in grid order.
+type Report struct {
+	Name      string       `json:"name"`
+	Spec      Spec         `json:"spec"`
+	Cells     int          `json:"cells"`
+	RunsPer   int          `json:"runs_per_cell"`
+	TotalRuns int          `json:"total_runs"`
+	Results   []CellResult `json:"results"`
+}
+
+// waitingBound is Theorem 2's ℓ(2n-3)² (kept local to avoid importing the
+// root package).
+func waitingBound(n, l int) int64 {
+	d := int64(2*n - 3)
+	return int64(l) * d * d
+}
+
+// jain is Jain's fairness index over per-process grants.
+func jain(xs []int64) float64 { return stats.JainIndex(xs) }
+
+// round6 trims float noise to 6 decimals so emitted JSON stays readable;
+// it is a pure function, so determinism is unaffected.
+func round6(f float64) float64 { return math.Round(f*1e6) / 1e6 }
+
+// aggregate merges per-run results — already ordered by (cell, seed) — into
+// the Report. It runs single-threaded after the pool drains; every float
+// accumulation therefore has a fixed order and the output is reproducible.
+func aggregate(spec Spec, cells []Cell, results [][]RunResult) *Report {
+	rep := &Report{
+		Name:      spec.Name,
+		Spec:      spec,
+		Cells:     len(cells),
+		RunsPer:   spec.Seeds.Count,
+		TotalRuns: len(cells) * spec.Seeds.Count,
+		Results:   make([]CellResult, 0, len(cells)),
+	}
+	for i, c := range cells {
+		tr, err := c.Topology.Build()
+		if err != nil {
+			panic(err)
+		}
+		cr := CellResult{
+			Cell:         c,
+			Label:        c.Label(),
+			N:            tr.N(),
+			RingLen:      tr.RingLen(),
+			WaitingBound: waitingBound(tr.N(), c.L),
+			Runs:         results[i],
+		}
+		var grants, converged []int64
+		var legitFrac, jainSum float64
+		for _, rr := range results[i] {
+			grants = append(grants, rr.Grants)
+			cr.TotalGrants += rr.Grants
+			cr.TotalResets += rr.Resets
+			cr.TotalTimeouts += rr.Timeouts
+			cr.TotalStorms += rr.Storms
+			cr.TotalSafety += rr.SafetyAfter
+			cr.TotalRes += rr.DeliveredRes
+			cr.TotalCtrl += rr.DeliveredCtrl
+			if rr.Converged {
+				converged = append(converged, rr.ConvergedAt)
+			} else {
+				cr.Diverged++
+			}
+			if rr.MaxWaiting > cr.MaxWaiting {
+				cr.MaxWaiting = rr.MaxWaiting
+			}
+			if rr.Steps > 0 {
+				legitFrac += float64(rr.LegitSteps) / float64(rr.Steps)
+			}
+			jainSum += rr.Jain
+		}
+		cr.Grants = stats.Describe(grants)
+		cr.Convergence = stats.Describe(converged)
+		if cr.WaitingBound > 0 {
+			cr.WaitingRatio = round6(float64(cr.MaxWaiting) / float64(cr.WaitingBound))
+		}
+		if cr.TotalGrants > 0 {
+			cr.ResPerGrant = round6(float64(cr.TotalRes) / float64(cr.TotalGrants))
+			cr.CtrlPerGrant = round6(float64(cr.TotalCtrl) / float64(cr.TotalGrants))
+		}
+		if n := len(results[i]); n > 0 {
+			cr.Availability = round6(legitFrac / float64(n))
+			cr.MeanJain = round6(jainSum / float64(n))
+		}
+		rep.Results = append(rep.Results, cr)
+	}
+	return rep
+}

@@ -1,0 +1,80 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSON marshals the report with stable indentation. Struct field order (not
+// map iteration) drives the output, so the bytes are reproducible for a
+// given report — and reports themselves do not depend on worker count.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteCSV emits one row per cell with the aggregate columns (per-run
+// results are JSON-only).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"cell", "topology", "n", "k", "l", "cmax", "variant", "timeout", "storm_period",
+		"runs", "total_grants", "mean_grants", "diverged", "mean_convergence",
+		"max_waiting", "waiting_bound", "availability", "mean_jain",
+		"res_per_grant", "ctrl_per_grant", "resets", "timeouts", "safety_violations",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, cr := range r.Results {
+		row := []string{
+			strconv.Itoa(cr.Cell.Index),
+			cr.Cell.Topology.Label(),
+			strconv.Itoa(cr.N),
+			strconv.Itoa(cr.Cell.K),
+			strconv.Itoa(cr.Cell.L),
+			strconv.Itoa(cr.Cell.CMAX),
+			cr.Cell.Variant,
+			strconv.FormatInt(cr.Cell.TimeoutTicks, 10),
+			strconv.FormatInt(cr.Cell.StormPeriod, 10),
+			strconv.Itoa(len(cr.Runs)),
+			strconv.FormatInt(cr.TotalGrants, 10),
+			fmt.Sprintf("%.2f", cr.Grants.Mean),
+			strconv.Itoa(cr.Diverged),
+			fmt.Sprintf("%.2f", cr.Convergence.Mean),
+			strconv.FormatInt(cr.MaxWaiting, 10),
+			strconv.FormatInt(cr.WaitingBound, 10),
+			fmt.Sprintf("%.6f", cr.Availability),
+			fmt.Sprintf("%.6f", cr.MeanJain),
+			fmt.Sprintf("%.4f", cr.ResPerGrant),
+			fmt.Sprintf("%.4f", cr.CtrlPerGrant),
+			strconv.FormatInt(cr.TotalResets, 10),
+			strconv.FormatInt(cr.TotalTimeouts, 10),
+			strconv.Itoa(cr.TotalSafety),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseSpec decodes a JSON campaign spec, rejecting unknown fields so typos
+// in sweep files fail loudly instead of silently shrinking the grid.
+func ParseSpec(b []byte) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("campaign: bad spec: %w", err)
+	}
+	return sp, nil
+}

@@ -1,0 +1,272 @@
+// Package campaign is the parallel sweep engine: it expands a declarative
+// grid of simulation parameters into cells, runs every (cell, seed) pair as
+// an independent sim.System across a worker pool, and merges the results
+// into an order-independent aggregate Report.
+//
+// Determinism contract: each run is a pure function of (cell, seed) — the
+// simulator guarantees that — and the engine writes every run's result into
+// a pre-allocated slot addressed by (cell index, run index), then aggregates
+// strictly in grid order. The marshalled Report is therefore byte-identical
+// for any worker count; TestDeterminismAcrossWorkerCounts asserts this.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kofl/internal/tree"
+)
+
+// TopologySpec names one tree constructor of a sweep. Kind selects the
+// family; the other fields parameterize it (unused fields are ignored).
+type TopologySpec struct {
+	// Kind is one of chain|star|balanced|caterpillar|paper|random.
+	Kind string `json:"kind"`
+	// N sizes chain, star and random topologies.
+	N int `json:"n,omitempty"`
+	// Arity and Depth size balanced trees.
+	Arity int `json:"arity,omitempty"`
+	Depth int `json:"depth,omitempty"`
+	// Spine and Legs size caterpillars.
+	Spine int `json:"spine,omitempty"`
+	Legs  int `json:"legs,omitempty"`
+	// Seed draws the random topology (Kind "random"); it is part of the
+	// grid cell, not the per-run seed, so every run of a cell sees the
+	// same tree.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Build constructs the tree, or reports why the spec is invalid.
+func (ts TopologySpec) Build() (*tree.Tree, error) {
+	switch ts.Kind {
+	case "chain":
+		if ts.N < 2 {
+			return nil, fmt.Errorf("campaign: chain needs n ≥ 2, got %d", ts.N)
+		}
+		return tree.Chain(ts.N), nil
+	case "star":
+		if ts.N < 2 {
+			return nil, fmt.Errorf("campaign: star needs n ≥ 2, got %d", ts.N)
+		}
+		return tree.Star(ts.N), nil
+	case "balanced":
+		if ts.Arity < 1 || ts.Depth < 1 {
+			return nil, fmt.Errorf("campaign: balanced needs arity ≥ 1 and depth ≥ 1")
+		}
+		return tree.Balanced(ts.Arity, ts.Depth), nil
+	case "caterpillar":
+		if ts.Spine < 1 {
+			return nil, fmt.Errorf("campaign: caterpillar needs spine ≥ 1")
+		}
+		return tree.Caterpillar(ts.Spine, ts.Legs), nil
+	case "paper":
+		return tree.Paper(), nil
+	case "random":
+		if ts.N < 2 {
+			return nil, fmt.Errorf("campaign: random needs n ≥ 2, got %d", ts.N)
+		}
+		return tree.Random(ts.N, rand.New(rand.NewSource(ts.Seed))), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown topology kind %q", ts.Kind)
+	}
+}
+
+// Label renders the topology as a stable sweep label, e.g. "star-16".
+func (ts TopologySpec) Label() string {
+	switch ts.Kind {
+	case "chain", "star":
+		return fmt.Sprintf("%s-%d", ts.Kind, ts.N)
+	case "balanced":
+		return fmt.Sprintf("balanced-%dx%d", ts.Arity, ts.Depth)
+	case "caterpillar":
+		return fmt.Sprintf("caterpillar-%dx%d", ts.Spine, ts.Legs)
+	case "random":
+		return fmt.Sprintf("random-%d-s%d", ts.N, ts.Seed)
+	default:
+		return ts.Kind
+	}
+}
+
+// KL is one explicit (k, ℓ) pair of a sweep.
+type KL struct {
+	K int `json:"k"`
+	L int `json:"l"`
+}
+
+// WorkloadSpec configures the generator attached to every process of every
+// run: request Need units (0 = spread 1+p%k over processes), hold the
+// critical section for Hold steps, think for Think steps, repeat forever.
+type WorkloadSpec struct {
+	Need  int   `json:"need"`
+	Hold  int64 `json:"hold"`
+	Think int64 `json:"think"`
+}
+
+// FaultSpec configures fault injection. ArbitraryStart throws every run into
+// a fully arbitrary configuration before the first step (Theorem 1's
+// universal quantifier). StormPeriods is a grid axis: each entry adds a cell
+// column in which a fault storm strikes every that-many steps, rotating over
+// token loss, duplication, state corruption and channel garbage (0 = no
+// storms; an empty list means a single storm-free column).
+type FaultSpec struct {
+	ArbitraryStart bool    `json:"arbitrary_start,omitempty"`
+	StormPeriods   []int64 `json:"storm_periods,omitempty"`
+}
+
+// SeedRange is the per-cell seed sweep: Count seeds starting at First.
+type SeedRange struct {
+	First int64 `json:"first"`
+	Count int   `json:"count"`
+}
+
+// Spec is a declarative campaign: the cross product of Topologies × (k,ℓ)
+// pairs × CMAX × Variants × Timeouts × Faults.StormPeriods defines the grid
+// cells, and every cell runs Seeds.Count independent seeds.
+//
+// The (k,ℓ) axis comes from KL when non-empty, otherwise from the cross
+// product K × L with invalid pairs (k < 1 or k > ℓ) silently skipped — so a
+// sweep can say K=[1,2,4], L=[1,2,4,8] and only meaningful combinations run.
+type Spec struct {
+	Name       string         `json:"name"`
+	Topologies []TopologySpec `json:"topologies"`
+	KL         []KL           `json:"kl,omitempty"`
+	K          []int          `json:"k,omitempty"`
+	L          []int          `json:"l,omitempty"`
+	// CMAX values (default [4]).
+	CMAX []int `json:"cmax,omitempty"`
+	// Variants are protocol rungs: full|naive|pusher|nonstab (default [full]).
+	Variants []string `json:"variants,omitempty"`
+	// Timeouts sweeps the root's retransmission timeout in scheduler steps
+	// (0 = topology-derived default; empty list means a single default column).
+	Timeouts []int64 `json:"timeouts,omitempty"`
+	// Seeds is the per-cell seed range. A wholly omitted range defaults to
+	// {First: 1, Count: 1}; when Count is set, First is used verbatim
+	// (0 is a valid first seed).
+	Seeds SeedRange `json:"seeds"`
+	// Steps is the scheduler-step budget per run (default 100_000).
+	Steps    int64        `json:"steps"`
+	Workload WorkloadSpec `json:"workload"`
+	Faults   FaultSpec    `json:"faults"`
+}
+
+// Cell is one grid point: a fully determined simulation configuration that
+// the engine runs once per seed.
+type Cell struct {
+	Index        int          `json:"index"`
+	Topology     TopologySpec `json:"topology"`
+	K            int          `json:"k"`
+	L            int          `json:"l"`
+	CMAX         int          `json:"cmax"`
+	Variant      string       `json:"variant"`
+	TimeoutTicks int64        `json:"timeout_ticks,omitempty"`
+	StormPeriod  int64        `json:"storm_period,omitempty"`
+}
+
+// Label renders the cell compactly for CSV rows and progress lines.
+func (c Cell) Label() string {
+	s := fmt.Sprintf("%s k=%d l=%d cmax=%d %s", c.Topology.Label(), c.K, c.L, c.CMAX, c.Variant)
+	if c.TimeoutTicks > 0 {
+		s += fmt.Sprintf(" to=%d", c.TimeoutTicks)
+	}
+	if c.StormPeriod > 0 {
+		s += fmt.Sprintf(" storm=%d", c.StormPeriod)
+	}
+	return s
+}
+
+// normalized returns a copy of the spec with defaults filled in.
+func (sp Spec) normalized() Spec {
+	if len(sp.CMAX) == 0 {
+		sp.CMAX = []int{4}
+	}
+	if len(sp.Variants) == 0 {
+		sp.Variants = []string{"full"}
+	}
+	if len(sp.Timeouts) == 0 {
+		sp.Timeouts = []int64{0}
+	}
+	if len(sp.Faults.StormPeriods) == 0 {
+		sp.Faults.StormPeriods = []int64{0}
+	}
+	if sp.Seeds.Count <= 0 {
+		// Only a wholly omitted seed range gets the {1, 1} default; an
+		// explicit First (with any Count) is always respected, including 0.
+		sp.Seeds.Count = 1
+		if sp.Seeds.First == 0 {
+			sp.Seeds.First = 1
+		}
+	}
+	if sp.Steps <= 0 {
+		sp.Steps = 100_000
+	}
+	return sp
+}
+
+// pairs returns the effective (k,ℓ) axis (see Spec doc).
+func (sp Spec) pairs() []KL {
+	if len(sp.KL) > 0 {
+		return sp.KL
+	}
+	var out []KL
+	for _, k := range sp.K {
+		for _, l := range sp.L {
+			if k >= 1 && k <= l {
+				out = append(out, KL{K: k, L: l})
+			}
+		}
+	}
+	return out
+}
+
+// Cells expands the grid in deterministic order (topology → (k,ℓ) → CMAX →
+// variant → timeout → storm period) and validates every cell eagerly so the
+// worker pool cannot fail mid-flight.
+func (sp Spec) Cells() ([]Cell, error) {
+	n := sp.normalized()
+	if len(n.Topologies) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q has no topologies", n.Name)
+	}
+	pairs := n.pairs()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q has no valid (k,ℓ) pairs", n.Name)
+	}
+	var cells []Cell
+	for _, ts := range n.Topologies {
+		if _, err := ts.Build(); err != nil {
+			return nil, err
+		}
+		for _, kl := range pairs {
+			if kl.K < 1 || kl.K > kl.L {
+				return nil, fmt.Errorf("campaign: invalid pair k=%d ℓ=%d", kl.K, kl.L)
+			}
+			if n.Workload.Need > kl.K {
+				// Fail loudly rather than silently clamping: a clamped need
+				// would run a different workload than the spec records.
+				return nil, fmt.Errorf("campaign: workload need %d exceeds k=%d (pair k=%d ℓ=%d)",
+					n.Workload.Need, kl.K, kl.K, kl.L)
+			}
+			for _, cmax := range n.CMAX {
+				for _, v := range n.Variants {
+					if _, err := features(v); err != nil {
+						return nil, err
+					}
+					for _, to := range n.Timeouts {
+						for _, storm := range n.Faults.StormPeriods {
+							cells = append(cells, Cell{
+								Index:        len(cells),
+								Topology:     ts,
+								K:            kl.K,
+								L:            kl.L,
+								CMAX:         cmax,
+								Variant:      v,
+								TimeoutTicks: to,
+								StormPeriod:  storm,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}

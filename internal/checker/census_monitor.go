@@ -1,0 +1,88 @@
+package checker
+
+import (
+	"fmt"
+
+	"kofl/internal/core"
+	"kofl/internal/sim"
+)
+
+// CensusMonitor fuses the three census-consuming monitors a campaign run
+// needs — legitimacy/convergence tracking, the k-out-of-ℓ safety predicate,
+// and legitimate-step counting for availability — into one step hook that
+// computes the global census exactly once per step. Attaching NewLegitimacy,
+// NewSafety and a counting hook separately costs three full O(n + channels)
+// censuses per scheduler step; on a sweep of millions of steps that
+// instrumentation dominates the run.
+type CensusMonitor struct {
+	s   *sim.Sim
+	cfg core.Config
+
+	// Legitimacy (mirrors Legitimacy's fields and semantics).
+	lastViolation int64
+	everCorrect   bool
+
+	// LegitSteps counts executed steps whose census was legitimate (the
+	// initial configuration is not a step and is not counted).
+	LegitSteps int64
+
+	// Safety violations (mirrors Safety's recording).
+	Violations []SafetyViolation
+}
+
+// NewCensusMonitor attaches a fused census monitor to s. Like
+// NewLegitimacy, it accounts for the initial configuration immediately.
+func NewCensusMonitor(s *sim.Sim) *CensusMonitor {
+	m := &CensusMonitor{s: s, cfg: s.Cfg, lastViolation: -1}
+	s.AddStepHook(func(s *sim.Sim) { m.observe(s, true) })
+	m.observe(s, false) // initial configuration: no step to count
+	return m
+}
+
+func (m *CensusMonitor) observe(s *sim.Sim, isStep bool) {
+	c := s.Census()
+	if c.LegitimateFor(m.cfg, s.Nodes[s.Tree.Root()].ResetFlag()) {
+		m.everCorrect = true
+		if isStep {
+			m.LegitSteps++
+		}
+	} else {
+		m.lastViolation = s.Now()
+	}
+	if c.UnitsInUse > m.cfg.L {
+		m.Violations = append(m.Violations, SafetyViolation{
+			Clock: s.Now(),
+			What:  fmt.Sprintf("%d units in use > ℓ=%d", c.UnitsInUse, m.cfg.L),
+		})
+	}
+	for p, n := range s.Nodes {
+		if n.State() == core.In && n.Reserved() > m.cfg.K {
+			m.Violations = append(m.Violations, SafetyViolation{
+				Clock: s.Now(),
+				What:  fmt.Sprintf("process %d uses %d units > k=%d", p, n.Reserved(), m.cfg.K),
+			})
+		}
+	}
+}
+
+// ConvergedAt returns the clock after which the census has been
+// continuously legitimate, and whether that has happened at all
+// (identical semantics to Legitimacy.ConvergedAt).
+func (m *CensusMonitor) ConvergedAt() (int64, bool) {
+	if !m.s.TokensCorrect() || !m.everCorrect {
+		return 0, false
+	}
+	return m.lastViolation + 1, true
+}
+
+// ViolationsAfter counts safety violations strictly after the given clock
+// (identical semantics to Safety.ViolationsAfter).
+func (m *CensusMonitor) ViolationsAfter(clock int64) int {
+	n := 0
+	for _, v := range m.Violations {
+		if v.Clock > clock {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package checker_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"kofl/internal/checker"
+	"kofl/internal/core"
+	"kofl/internal/faults"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// TestCensusMonitorMatchesSeparateMonitors attaches the fused monitor and
+// the separate Legitimacy/Safety monitors (plus a hand-rolled legit-step
+// counter) to the same simulation and requires identical readings — the
+// fused monitor is an optimization, not a semantics change.
+func TestCensusMonitorMatchesSeparateMonitors(t *testing.T) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 3, L: 5, N: tr.N(), CMAX: 4, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 11})
+	fused := checker.NewCensusMonitor(s)
+	leg := checker.NewLegitimacy(s)
+	saf := checker.NewSafety(s)
+	var legitSteps int64
+	s.AddStepHook(func(s *sim.Sim) {
+		if s.TokensCorrect() {
+			legitSteps++
+		}
+	})
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%3, 2, 4, 0))
+	}
+	// Corrupt mid-run so the safety and re-convergence paths both fire.
+	s.Run(30_000)
+	faults.ArbitraryConfiguration(s, rand.New(rand.NewSource(99)))
+	s.Run(60_000)
+
+	fa, fok := fused.ConvergedAt()
+	la, lok := leg.ConvergedAt()
+	if fa != la || fok != lok {
+		t.Errorf("ConvergedAt: fused (%d,%v) vs separate (%d,%v)", fa, fok, la, lok)
+	}
+	if fused.LegitSteps != legitSteps {
+		t.Errorf("LegitSteps: fused %d vs counted %d", fused.LegitSteps, legitSteps)
+	}
+	if len(fused.Violations) != len(saf.Violations) {
+		t.Fatalf("violations: fused %d vs separate %d",
+			len(fused.Violations), len(saf.Violations))
+	}
+	for i := range fused.Violations {
+		if fused.Violations[i] != saf.Violations[i] {
+			t.Errorf("violation %d: fused %+v vs separate %+v",
+				i, fused.Violations[i], saf.Violations[i])
+		}
+	}
+	if fok {
+		if fused.ViolationsAfter(fa) != saf.ViolationsAfter(la) {
+			t.Errorf("ViolationsAfter: fused %d vs separate %d",
+				fused.ViolationsAfter(fa), saf.ViolationsAfter(la))
+		}
+	}
+}

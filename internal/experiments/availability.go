@@ -2,16 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
-	"kofl/internal/checker"
-	"kofl/internal/core"
-	"kofl/internal/faults"
-	"kofl/internal/message"
-	"kofl/internal/sim"
-	"kofl/internal/stats"
-	"kofl/internal/tree"
-	"kofl/internal/workload"
+	"kofl/internal/campaign"
 )
 
 // Availability (R1) is the operational view of self-stabilization: the
@@ -21,6 +13,9 @@ import (
 // census), service throughput relative to a fault-free run, and fairness
 // (Jain index over per-process grants). Self-stabilization turns each storm
 // into a bounded service dip instead of a permanent outage.
+//
+// The storm periods are one campaign axis: every period is an independent
+// cell of a parallel sweep on the campaign engine.
 func Availability(seed int64, quick bool) *Table {
 	tb := &Table{
 		ID:    "R1",
@@ -34,54 +29,27 @@ func Availability(seed int64, quick bool) *Table {
 		steps = 150_000
 		periods = []int64{0, 40_000, 10_000}
 	}
-	var faultFreeGrants int64
-	for _, period := range periods {
-		tr := tree.Paper()
-		s := newSim(tr, 3, 5, 6, core.Full(), seed, nil)
-		circ := checker.NewCirculations(s)
-		grants := checker.NewGrants(s)
-		for p := 0; p < tr.N(); p++ {
-			workload.Attach(s, p, workload.Fixed(1+p%3, 4, 8, 0))
-		}
-		rng := rand.New(rand.NewSource(seed + period))
-		var legit, total, storms int64
-		s.AddStepHook(func(s *sim.Sim) {
-			total++
-			if s.TokensCorrect() {
-				legit++
-			}
-		})
-		next := period
-		for s.Steps < steps {
-			if period > 0 && s.Steps >= next {
-				storms++
-				next += period
-				switch storms % 4 {
-				case 0:
-					faults.DropTokens(s, rng, message.Res, 1+rng.Intn(3))
-				case 1:
-					faults.DuplicateTokens(s, rng, message.Res, 1+rng.Intn(3))
-				case 2:
-					faults.CorruptStates(s, rng, []int{rng.Intn(tr.N()), rng.Intn(tr.N())})
-				case 3:
-					faults.GarbageChannels(s, rng, 3)
-				}
-			}
-			if !s.Step() {
-				break
-			}
-		}
-		availability := float64(legit) / float64(total)
-		if period == 0 {
-			faultFreeGrants = grants.Total()
-		}
-		rel := float64(grants.Total()) / float64(faultFreeGrants)
+	rep := runCampaign(campaign.Spec{
+		Name:       "R1-availability",
+		Topologies: []campaign.TopologySpec{{Kind: "paper"}},
+		KL:         []campaign.KL{{K: 3, L: 5}},
+		CMAX:       []int{6},
+		Seeds:      campaign.SeedRange{First: seed, Count: 1},
+		Steps:      steps,
+		Workload:   campaign.WorkloadSpec{Need: 0, Hold: 4, Think: 8},
+		Faults:     campaign.FaultSpec{StormPeriods: periods},
+	})
+	// Cell 0 is the storm-free column (period 0 is first in the axis); the
+	// relative-throughput column divides by its grant count.
+	faultFreeGrants := rep.Results[0].TotalGrants
+	for _, cr := range rep.Results {
 		label := "none"
-		if period > 0 {
-			label = format(period)
+		if p := cr.Cell.StormPeriod; p > 0 {
+			label = format(p)
 		}
-		tb.Add(label, storms, availability, grants.Total(), rel,
-			stats.JainIndex(grants.Enters), circ.Resets)
+		rel := float64(cr.TotalGrants) / float64(faultFreeGrants)
+		tb.Add(label, cr.TotalStorms, cr.Availability, cr.TotalGrants, rel,
+			cr.MeanJain, cr.TotalResets)
 	}
 	tb.Note("availability = fraction of steps with a legitimate token census")
 	tb.Note("each storm rotates loss/duplication/state-corruption/garbage faults")

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
 
 	"kofl/internal/checker"
@@ -79,6 +78,6 @@ func Extension(seed int64, quick bool) *Table {
 			grants.Total(), starved)
 	}
 	tb.Note("tree layer corrupted before stabilizing; exclusion layer bootstraps from empty")
-	tb.Note(fmt.Sprintf("exclusion run budget: %d steps per mesh", steps))
+	tb.Note("exclusion run budget: %d steps per mesh", steps)
 	return tb
 }

@@ -3,18 +3,28 @@ package experiments
 import (
 	"fmt"
 
-	"kofl/internal/checker"
-	"kofl/internal/core"
-	"kofl/internal/message"
+	"kofl/internal/campaign"
 	"kofl/internal/sim"
 	"kofl/internal/tree"
-	"kofl/internal/workload"
 )
+
+// runCampaign executes a sweep on the campaign engine (all cores) and
+// panics on spec errors — experiment specs are static, so an error is a
+// programming bug, matching the MustNew convention of the other drivers.
+func runCampaign(spec campaign.Spec) *campaign.Report {
+	rep, err := campaign.Run(spec, campaign.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
 
 // Throughput (P1) measures critical-section grants per 10⁴ scheduler steps
 // across topology, n and ℓ — the protocol's capacity shape: more tokens mean
 // more simultaneous grants until the ring latency dominates; deeper trees
-// pay longer token round-trips.
+// pay longer token round-trips. The sweep runs as one parallel campaign:
+// every (topology, k, ℓ) cell is an independent simulation fanned out over
+// the worker pool.
 func Throughput(seed int64, quick bool) *Table {
 	tb := &Table{
 		ID:    "P1",
@@ -31,36 +41,49 @@ func Throughput(seed int64, quick bool) *Table {
 	if quick {
 		steps = 80_000
 	}
+	var topos []campaign.TopologySpec
 	for _, n := range ns {
-		for _, l := range ls {
-			for _, top := range SweepTopologies([]int{n}) {
-				tr := top.Build()
-				k := min(2, l)
-				s := newSim(tr, k, l, 2, core.Full(), seed, nil)
-				grants := checker.NewGrants(s)
-				for p := 0; p < tr.N(); p++ {
-					workload.Attach(s, p, workload.Fixed(1+p%k, 0, 0, 0))
-				}
-				s.Run(steps)
-				total := grants.Total()
-				perGrant := float64(0)
-				if total > 0 {
-					perGrant = float64(s.Delivered[message.Res]) / float64(total)
-				}
-				tb.Add(top.Name, n, k, l, total,
-					float64(total)/float64(steps)*10_000, perGrant)
+		topos = append(topos,
+			campaign.TopologySpec{Kind: "chain", N: n},
+			campaign.TopologySpec{Kind: "star", N: n})
+	}
+	var pairs []campaign.KL
+	for _, l := range ls {
+		pairs = append(pairs, campaign.KL{K: min(2, l), L: l})
+	}
+	rep := runCampaign(campaign.Spec{
+		Name:       "P1-throughput",
+		Topologies: topos,
+		KL:         pairs,
+		CMAX:       []int{2},
+		Seeds:      campaign.SeedRange{First: seed, Count: 1},
+		Steps:      steps,
+		Workload:   campaign.WorkloadSpec{Need: 0, Hold: 0, Think: 0},
+	})
+	// Emit rows in the historical n → ℓ → topology order (the grid expands
+	// topology-outermost) so regenerated tables diff cleanly against
+	// previously published ones. Cell index = topoIdx*len(pairs) + pairIdx
+	// with topos laid out as [chain-n, star-n] per n.
+	for ni := range ns {
+		for li := range ls {
+			for ti := 0; ti < 2; ti++ {
+				cr := rep.Results[(2*ni+ti)*len(pairs)+li]
+				tb.Add(cr.Cell.Topology.Label(), cr.N, cr.Cell.K, cr.Cell.L, cr.TotalGrants,
+					float64(cr.TotalGrants)/float64(steps)*10_000, cr.ResPerGrant)
 			}
 		}
 	}
 	tb.Note("shape: grants grow with ℓ and shrink with n (ring latency 2(n-1))")
+	tb.Note("sweep ran as a %d-cell parallel campaign", rep.Cells)
 	return tb
 }
 
 // ControlOverhead (P2) measures the controller's cost and the timeout's
 // effect: controller deliveries per grant, timeouts fired and resets caused,
-// sweeping the retransmission timeout. Too small a timeout violates the
-// paper's footnote-4 assumption: duplicate controllers corrupt counts and
-// force spurious resets — visible in the reset column.
+// sweeping the retransmission timeout — the campaign engine's timeout axis.
+// Too small a timeout violates the paper's footnote-4 assumption: duplicate
+// controllers corrupt counts and force spurious resets — visible in the
+// reset column.
 func ControlOverhead(seed int64, quick bool) *Table {
 	tb := &Table{
 		ID:    "P2",
@@ -78,25 +101,26 @@ func ControlOverhead(seed int64, quick bool) *Table {
 	if quick {
 		steps = 100_000
 	}
-	for _, m := range muls {
-		timeout := int64(float64(def) * m)
-		if timeout < 1 {
-			timeout = 1
+	timeouts := make([]int64, len(muls))
+	for i, m := range muls {
+		timeouts[i] = int64(float64(def) * m)
+		if timeouts[i] < 1 {
+			timeouts[i] = 1
 		}
-		cfg := config(tr, 3, 5, 4, core.Full())
-		s := sim.MustNew(tr, cfg, sim.Options{Seed: seed, TimeoutTicks: timeout})
-		grants := checker.NewGrants(s)
-		circ := checker.NewCirculations(s)
-		for p := 0; p < tr.N(); p++ {
-			workload.Attach(s, p, workload.Fixed(1+p%3, 3, 6, 0))
-		}
-		s.Run(steps)
-		perGrant := float64(0)
-		if grants.Total() > 0 {
-			perGrant = float64(s.Delivered[message.Ctrl]) / float64(grants.Total())
-		}
-		tb.Add(timeout, fmt.Sprintf("%.2f", m), perGrant, circ.Timeouts,
-			circ.Resets, grants.Total())
+	}
+	rep := runCampaign(campaign.Spec{
+		Name:       "P2-control-overhead",
+		Topologies: []campaign.TopologySpec{{Kind: "paper"}},
+		KL:         []campaign.KL{{K: 3, L: 5}},
+		CMAX:       []int{4},
+		Timeouts:   timeouts,
+		Seeds:      campaign.SeedRange{First: seed, Count: 1},
+		Steps:      steps,
+		Workload:   campaign.WorkloadSpec{Need: 0, Hold: 3, Think: 6},
+	})
+	for i, cr := range rep.Results {
+		tb.Add(cr.Cell.TimeoutTicks, fmt.Sprintf("%.2f", muls[i]), cr.CtrlPerGrant,
+			cr.TotalTimeouts, cr.TotalResets, cr.TotalGrants)
 	}
 	tb.Note("paper footnote 4: the timeout must be large enough to prevent congestion")
 	return tb

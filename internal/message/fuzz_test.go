@@ -1,0 +1,87 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip drives the wire codec the Live runtime frames every
+// message through: Decode must never panic on arbitrary bytes, and any frame
+// Decode accepts must survive a re-encode/re-decode round trip bit-for-bit
+// (codec idempotency — decode(encode(decode(b))) == decode(b)).
+func FuzzFrameRoundTrip(f *testing.F) {
+	// Valid frames for every kind, plus truncated and corrupted shapes.
+	f.Add(Encode(nil, NewRes()))
+	f.Add(Encode(nil, NewPush()))
+	f.Add(Encode(nil, NewPrio()))
+	f.Add(Encode(nil, NewCtrl(0, false, 0, 0)))
+	f.Add(Encode(nil, NewCtrl(123456, true, 6, 2)))
+	f.Add([]byte{})                          // short frame
+	f.Add([]byte{1, 2, 3})                   // short frame
+	f.Add(make([]byte, FrameSize))           // kind 0 (invalid), checksum ok
+	f.Add(bytes.Repeat([]byte{0xff}, FrameSize))
+	bad := Encode(nil, NewCtrl(7, true, 1, 1))
+	bad[10] ^= 0x55 // checksum mismatch
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			// Rejected: must not panic (already didn't) and must not consume
+			// more than one frame.
+			if n != 0 && n != FrameSize {
+				t.Fatalf("rejecting Decode consumed %d bytes", n)
+			}
+			return
+		}
+		if n != FrameSize {
+			t.Fatalf("accepting Decode consumed %d bytes, want %d", n, FrameSize)
+		}
+		if !m.Kind.Valid() {
+			t.Fatalf("Decode accepted invalid kind %d", m.Kind)
+		}
+		if m.Kind != Ctrl && (m.C != 0 || m.R || m.PT != 0 || m.PPr != 0) {
+			t.Fatalf("token frame decoded with controller fields: %v", m)
+		}
+		// Round trip: the decoded message re-encodes to a frame that decodes
+		// to the same message.
+		frame := Encode(nil, m)
+		if len(frame) != FrameSize {
+			t.Fatalf("Encode produced %d bytes", len(frame))
+		}
+		m2, n2, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != FrameSize || m2 != m {
+			t.Fatalf("round trip mismatch: %v != %v", m2, m)
+		}
+	})
+}
+
+// FuzzEncodeDecode fuzzes the structured direction: any in-domain message
+// must round-trip exactly. Fields are reduced into their wire domains first
+// (C is uint32 on the wire, PT/PPr uint16), mirroring what a process may
+// legally send.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint8(1), uint32(0), false, uint16(0), uint16(0))
+	f.Add(uint8(4), uint32(99), true, uint16(6), uint16(2))
+	f.Add(uint8(4), uint32(1<<31), false, uint16(65535), uint16(65535))
+	f.Fuzz(func(t *testing.T, kind uint8, c uint32, r bool, pt, ppr uint16) {
+		k := Kind(kind)
+		if !k.Valid() {
+			return
+		}
+		m := Message{Kind: k}
+		if k == Ctrl {
+			m = NewCtrl(int(c), r, int(pt), int(ppr))
+		}
+		got, n, err := Decode(Encode(nil, m))
+		if err != nil {
+			t.Fatalf("decode(encode(%v)): %v", m, err)
+		}
+		if n != FrameSize || got != m {
+			t.Fatalf("round trip: got %v, want %v", got, m)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package runtime_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kofl/internal/core"
+	"kofl/internal/runtime"
+	"kofl/internal/tree"
+)
+
+// TestLiveStabilizationSmoke is the short-mode stabilization check the
+// race-enabled CI pass leans on: boot the full protocol on the paper tree
+// from a garbage-filled initial configuration under true concurrency, and
+// require a request from every process to be granted within a tight
+// wall-clock budget. It deliberately stays small (8 processes, one round)
+// so `go test -race -short ./internal/runtime` finishes in seconds.
+func TestLiveStabilizationSmoke(t *testing.T) {
+	tr := tree.Paper()
+	cfg := core.Config{K: 3, L: 5, CMAX: 4, Features: core.Full()}
+	n, err := runtime.New(tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InjectGarbage(7)
+
+	granted := make(chan int, 64)
+	for p := 0; p < tr.N(); p++ {
+		n.OnEnter(p, func(p int) { granted <- p })
+	}
+	n.Start(context.Background())
+	defer n.Stop()
+
+	for p := 0; p < tr.N(); p++ {
+		if err := n.Request(p, 1+p%cfg.K); err != nil {
+			t.Fatalf("request(%d): %v", p, err)
+		}
+	}
+	seen := map[int]bool{}
+	deadline := time.After(30 * time.Second)
+	for len(seen) < tr.N() {
+		select {
+		case p := <-granted:
+			if !seen[p] {
+				seen[p] = true
+				n.Release(p)
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d processes served from a garbage start", len(seen), tr.N())
+		}
+	}
+	if g := n.Grants(); g < int64(tr.N()) {
+		t.Errorf("grants = %d, want ≥ %d", g, tr.N())
+	}
+}

@@ -67,27 +67,34 @@ func (s *Sim) Census() Census {
 	return c
 }
 
-// TokensCorrect reports whether the token populations match the legitimate
-// values: exactly ℓ resource tokens, and — per enabled feature — exactly one
-// pusher and one priority token, with no reset traversal pending.
-func (s *Sim) TokensCorrect() bool {
-	c := s.Census()
-	if c.Res() != s.Cfg.L {
+// LegitimateFor reports whether this census matches the legitimate token
+// populations for cfg: exactly ℓ resource tokens, and — per enabled feature
+// — exactly one pusher and one priority token, with no reset traversal
+// pending (rootReset is the root's reset flag). Monitors that already hold
+// a census use this to avoid recomputing it.
+func (c Census) LegitimateFor(cfg core.Config, rootReset bool) bool {
+	if c.Res() != cfg.L {
 		return false
 	}
-	if s.Cfg.Features.Pusher && c.FreePush != 1 {
+	if cfg.Features.Pusher && c.FreePush != 1 {
 		return false
 	}
-	if s.Cfg.Features.Priority && c.Prio() != 1 {
+	if cfg.Features.Priority && c.Prio() != 1 {
 		return false
 	}
 	if c.ResetCtrl > 0 {
 		return false
 	}
-	if s.Nodes[s.Tree.Root()].ResetFlag() {
+	if rootReset {
 		return false
 	}
 	return true
+}
+
+// TokensCorrect reports whether the current token populations are
+// legitimate (see Census.LegitimateFor).
+func (s *Sim) TokensCorrect() bool {
+	return s.Census().LegitimateFor(s.Cfg, s.Nodes[s.Tree.Root()].ResetFlag())
 }
 
 // SeedLegitimate places a legitimate initial token population for variants

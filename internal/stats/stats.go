@@ -102,6 +102,32 @@ func (s *Summary) String() string {
 		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Max())
 }
 
+// Dist is a JSON-friendly summary of an int64 sample vector, used by the
+// campaign engine's aggregate reports. All fields are pure functions of the
+// sample values and their order, so a Dist computed from samples collected
+// in a fixed order is byte-for-byte reproducible when marshalled.
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median int64   `json:"median"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// Describe summarizes samples into a Dist. The mean is accumulated in the
+// order given, keeping float rounding deterministic for a fixed input order.
+func Describe(samples []int64) Dist {
+	var s Summary
+	s.AddAll(samples)
+	return Dist{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Median: s.Percentile(50),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+}
+
 // JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for the sample
 // vector: 1 for perfectly equal allocations, approaching 1/n under total
 // starvation of all but one participant. It is 0 for an empty or all-zero

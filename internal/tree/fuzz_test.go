@@ -1,0 +1,84 @@
+package tree
+
+import (
+	"testing"
+)
+
+// parentsFromBytes decodes fuzz input into a parent array: each byte is an
+// int8, so negative parents (including NoParent = -1) and out-of-range
+// values are all reachable.
+func parentsFromBytes(data []byte) []int {
+	parents := make([]int, len(data))
+	for i, b := range data {
+		parents[i] = int(int8(b))
+	}
+	return parents
+}
+
+// FuzzTreeNew drives New with arbitrary parent arrays: it must never panic,
+// and every accepted tree must satisfy the structural invariants the
+// simulator and the virtual ring rely on.
+func FuzzTreeNew(f *testing.F) {
+	// A valid chain, a valid star, the paper tree's parents, and assorted
+	// invalid shapes (cycle, out-of-range, self-parent, non-root first).
+	f.Add([]byte{0xff, 0, 1, 2, 3})          // chain-5
+	f.Add([]byte{0xff, 0, 0, 0})             // star-4
+	f.Add([]byte{0xff, 0, 0, 1, 1, 2, 2, 2}) // paper tree
+	f.Add([]byte{0xff, 2, 1})                // 2-cycle below the root
+	f.Add([]byte{0xff, 9})                   // out-of-range parent
+	f.Add([]byte{0xff, 1})                   // self-parent
+	f.Add([]byte{0, 0})                      // process 0 not the root
+	f.Add([]byte{0xff})                      // too small
+	f.Add([]byte{})                          // empty
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return // keep the connectivity check cheap
+		}
+		parents := parentsFromBytes(data)
+		tr, err := New(parents)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		n := tr.N()
+		if n != len(parents) {
+			t.Fatalf("N() = %d, want %d", n, len(parents))
+		}
+		if tr.Parent(0) != NoParent || !tr.IsRoot(0) {
+			t.Fatal("process 0 must be the root")
+		}
+		// Parent/children agreement and channel-label consistency.
+		for p := 0; p < n; p++ {
+			for _, c := range tr.Children(p) {
+				if tr.Parent(c) != p {
+					t.Fatalf("child %d of %d has parent %d", c, p, tr.Parent(c))
+				}
+			}
+			for ch := 0; ch < tr.Degree(p); ch++ {
+				q := tr.Neighbor(p, ch)
+				if tr.Neighbor(q, tr.ChannelTo(q, p)) != p {
+					t.Fatalf("channel labels inconsistent at %d<->%d", p, q)
+				}
+			}
+			if d := tr.Depth(p); d < 0 || d >= n {
+				t.Fatalf("depth(%d) = %d out of range", p, d)
+			}
+		}
+		// Every process reachable from the root: sum of children counts is
+		// n-1 in a tree.
+		edges := 0
+		for p := 0; p < n; p++ {
+			edges += len(tr.Children(p))
+		}
+		if edges != n-1 {
+			t.Fatalf("%d parent-child edges, want %d", edges, n-1)
+		}
+		// The virtual ring must close after exactly 2(n-1) hops.
+		if tour := tr.EulerTour(); len(tour) != tr.RingLen() {
+			t.Fatalf("Euler tour has %d hops, want %d", len(tour), tr.RingLen())
+		}
+		if h := tr.Height(); h < 1 || h >= n {
+			t.Fatalf("height %d out of range for n=%d", h, n)
+		}
+	})
+}

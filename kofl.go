@@ -31,6 +31,7 @@
 package kofl
 
 import (
+	"kofl/internal/campaign"
 	"kofl/internal/core"
 	"kofl/internal/sim"
 	"kofl/internal/tree"
@@ -161,4 +162,44 @@ func (o Options) config(t *Tree) core.Config {
 func WaitingBound(n, l int) int64 {
 	d := int64(2*n - 3)
 	return int64(l) * d * d
+}
+
+// CampaignSpec declares a parallel sweep: a grid of topologies, (k,ℓ)
+// pairs, CMAX values, variants, timeouts and fault schedules, each cell run
+// over a seed range. See the campaign package for the field reference and
+// internal/campaign/README.md for the spec format.
+type CampaignSpec = campaign.Spec
+
+// CampaignTopology names one tree constructor of a campaign grid.
+type CampaignTopology = campaign.TopologySpec
+
+// CampaignKL is one explicit (k, ℓ) pair of a campaign grid.
+type CampaignKL = campaign.KL
+
+// CampaignSeeds is the per-cell seed range of a campaign.
+type CampaignSeeds = campaign.SeedRange
+
+// CampaignWorkload configures the request generator of every campaign run.
+type CampaignWorkload = campaign.WorkloadSpec
+
+// CampaignFaults configures fault injection (arbitrary starts, storm
+// periods) for a campaign.
+type CampaignFaults = campaign.FaultSpec
+
+// CampaignReport is the order-independent aggregate a campaign produces.
+type CampaignReport = campaign.Report
+
+// CampaignOptions tunes the engine (worker count, progress callback).
+type CampaignOptions = campaign.Options
+
+// ParseCampaignSpec decodes a JSON campaign spec (unknown fields rejected).
+func ParseCampaignSpec(b []byte) (CampaignSpec, error) { return campaign.ParseSpec(b) }
+
+// RunCampaign expands spec into grid cells and runs every (cell, seed) pair
+// as an independent System across workers goroutines (workers ≤ 0 = one per
+// logical CPU). The aggregate Report — and its JSON/CSV renderings — is
+// byte-identical for every worker count: results land in slots addressed by
+// (cell, seed) and are merged in grid order.
+func RunCampaign(spec CampaignSpec, workers int) (*CampaignReport, error) {
+	return campaign.Run(spec, campaign.Options{Workers: workers})
 }

@@ -1,6 +1,7 @@
 package kofl_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -225,5 +226,50 @@ func TestZeroNeedRequestGrantsImmediately(t *testing.T) {
 	sys.Release(1)
 	if sys.StateOf(1) != kofl.Out {
 		t.Errorf("state = %v after release", sys.StateOf(1))
+	}
+}
+
+// TestRunCampaignPublicAPI drives the top-level sweep entry point: a small
+// grid through the exported kofl.RunCampaign, checking the aggregate shape
+// and that worker count does not change the result bytes.
+func TestRunCampaignPublicAPI(t *testing.T) {
+	spec := kofl.CampaignSpec{
+		Name:       "api-smoke",
+		Topologies: []kofl.CampaignTopology{{Kind: "star", N: 5}, {Kind: "paper"}},
+		K:          []int{1, 2},
+		L:          []int{2},
+		Seeds:      kofl.CampaignSeeds{First: 3, Count: 2},
+		Steps:      8_000,
+		Workload:   kofl.CampaignWorkload{Hold: 2, Think: 4},
+	}
+	rep1, err := kofl.RunCampaign(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := kofl.RunCampaign(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Cells != 4 || rep1.TotalRuns != 8 {
+		t.Fatalf("unexpected grid: %d cells, %d runs", rep1.Cells, rep1.TotalRuns)
+	}
+	j1, err := rep1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := rep4.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Fatal("RunCampaign results differ between 1 and 4 workers")
+	}
+	for _, cr := range rep1.Results {
+		if cr.TotalGrants == 0 {
+			t.Errorf("cell %s served no grants", cr.Label)
+		}
+		if cr.TotalSafety != 0 {
+			t.Errorf("cell %s: safety violations after convergence", cr.Label)
+		}
 	}
 }
