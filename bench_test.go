@@ -13,6 +13,7 @@ package kofl_test
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
@@ -246,9 +247,14 @@ func campaignBenchSpec() kofl.CampaignSpec {
 // determinism contract (byte-identical aggregate JSON across worker counts),
 // reports the speedup as a custom metric, and records the numbers in
 // BENCH_campaign.json so the perf trajectory tracks parallel scaling across
-// PRs. On a single-core machine the speedup is necessarily ~1×; the recorded
-// gomaxprocs field qualifies the measurement.
+// PRs. On a single-proc runtime 4 workers time-slice one core, so the
+// "speedup" would be a meaningless ~1×: the bench skips instead of recording
+// a degenerate number (the JSON from such a run would poison the perf
+// trajectory).
 func BenchmarkCampaignSpeedup(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skipf("GOMAXPROCS = %d: parallel speedup needs ≥ 2 procs to mean anything; not recording", runtime.GOMAXPROCS(0))
+	}
 	spec := campaignBenchSpec()
 	cells, err := spec.Cells()
 	if err != nil {
@@ -327,6 +333,113 @@ func BenchmarkCampaignRun(b *testing.B) {
 		if _, err := kofl.RunCampaign(spec, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// stepBenchTrees returns the step-throughput sweep: path, star, broom and
+// Prüfer-uniform random trees at n ∈ {15, 63, 255, 1023}.
+func stepBenchTrees() []struct {
+	family string
+	n      int
+	tr     *tree.Tree
+} {
+	var out []struct {
+		family string
+		n      int
+		tr     *tree.Tree
+	}
+	for _, n := range []int{15, 63, 255, 1023} {
+		for _, f := range []struct {
+			family string
+			build  func(int) *tree.Tree
+		}{
+			{"path", tree.Chain},
+			{"star", tree.Star},
+			{"broom", func(n int) *tree.Tree { return tree.Broom(n/2, n-n/2) }},
+			{"prufer", func(n int) *tree.Tree { return tree.Prufer(n, rand.New(rand.NewSource(42))) }},
+		} {
+			out = append(out, struct {
+				family string
+				n      int
+				tr     *tree.Tree
+			}{f.family, n, f.build(n)})
+		}
+	}
+	return out
+}
+
+// stepThroughput builds a saturated full-protocol simulation on tr under the
+// given kernel, warms it into steady churn, and returns measured steps/sec.
+func stepThroughput(tr *tree.Tree, rescan bool, warm, measure int64) float64 {
+	cfg := core.Config{K: 2, L: 8, N: tr.N(), CMAX: 4, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1, FullRescan: rescan})
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%2, 2, 4, 0))
+	}
+	s.Run(warm)
+	t0 := time.Now()
+	done := s.Run(measure)
+	return float64(done) / time.Since(t0).Seconds()
+}
+
+// BenchmarkStepThroughput is the tentpole number of the incremental
+// enabled-action kernel: steps/sec with the legacy full-rescan kernel vs the
+// incremental ActionSet kernel, across path/star/broom/random topologies at
+// n ∈ {15, 63, 255, 1023}. Both kernels execute the byte-identical action
+// sequence (the differential tests prove it), so the ratio is pure
+// scheduling-kernel cost. Results are recorded in BENCH_step.json; the
+// headline metric is the worst speedup over the n=1023 topologies
+// (target ≥ 5×).
+func BenchmarkStepThroughput(b *testing.B) {
+	type entry struct {
+		Topology   string  `json:"topology"`
+		N          int     `json:"n"`
+		ScanPerSec float64 `json:"scan_steps_per_sec"`
+		IncrPerSec float64 `json:"incremental_steps_per_sec"`
+		Speedup    float64 `json:"speedup"`
+	}
+	var entries []entry
+	var worst1023 float64
+	for i := 0; i < b.N; i++ {
+		entries = entries[:0]
+		worst1023 = 0
+		for _, tc := range stepBenchTrees() {
+			warm, measure := int64(20_000), int64(30_000)
+			scan := stepThroughput(tc.tr, true, warm, measure)
+			incr := stepThroughput(tc.tr, false, warm, measure)
+			e := entry{
+				Topology:   tc.family,
+				N:          tc.n,
+				ScanPerSec: scan,
+				IncrPerSec: incr,
+				Speedup:    incr / scan,
+			}
+			entries = append(entries, e)
+			if tc.n == 1023 && (worst1023 == 0 || e.Speedup < worst1023) {
+				worst1023 = e.Speedup
+			}
+		}
+	}
+	b.ReportMetric(worst1023, "min-speedup-n1023")
+	record := struct {
+		Name            string  `json:"name"`
+		StepsPerMeasure int64   `json:"steps_per_measurement"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		MinSpeedupN1023 float64 `json:"min_speedup_n1023"`
+		Entries         []entry `json:"entries"`
+	}{
+		Name:            "BENCH-step-throughput",
+		StepsPerMeasure: 30_000,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		MinSpeedupN1023: worst1023,
+		Entries:         entries,
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_step.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

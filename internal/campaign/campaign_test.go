@@ -307,3 +307,68 @@ func TestVariantAxis(t *testing.T) {
 		t.Error("full protocol served no grants")
 	}
 }
+
+// TestPathologicalTopologyKinds covers the broom/spider/prufer additions to
+// the topology axis: build, size, label, validation, and a short end-to-end
+// run on each family.
+func TestPathologicalTopologyKinds(t *testing.T) {
+	cases := []struct {
+		spec  TopologySpec
+		n     int
+		label string
+	}{
+		{TopologySpec{Kind: "broom", Spine: 4, Legs: 3}, 7, "broom-4x3"},
+		{TopologySpec{Kind: "spider", Legs: 3, Depth: 2}, 7, "spider-3x2"},
+		{TopologySpec{Kind: "prufer", N: 9, Seed: 5}, 9, "prufer-9-s5"},
+	}
+	var topos []TopologySpec
+	for _, c := range cases {
+		tr, err := c.spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if tr.N() != c.n {
+			t.Errorf("%s: N = %d, want %d", c.label, tr.N(), c.n)
+		}
+		if got := c.spec.Label(); got != c.label {
+			t.Errorf("Label = %q, want %q", got, c.label)
+		}
+		topos = append(topos, c.spec)
+	}
+	// Same cell ⇒ same tree: the topology seed is part of the cell.
+	a, _ := TopologySpec{Kind: "prufer", N: 17, Seed: 3}.Build()
+	b, _ := TopologySpec{Kind: "prufer", N: 17, Seed: 3}.Build()
+	if a.String() != b.String() {
+		t.Error("prufer topology not deterministic in its cell seed")
+	}
+	for _, bad := range []TopologySpec{
+		{Kind: "broom", Spine: 0, Legs: 5},
+		{Kind: "broom", Spine: 1, Legs: 0},
+		{Kind: "spider", Legs: 0, Depth: 2},
+		{Kind: "spider", Legs: 2, Depth: 0},
+		{Kind: "prufer", N: 1},
+	} {
+		if _, err := bad.Build(); err == nil {
+			t.Errorf("%+v: expected error", bad)
+		}
+	}
+	rep, err := Run(Spec{
+		Name:       "pathological",
+		Topologies: topos,
+		KL:         []KL{{K: 2, L: 3}},
+		Seeds:      SeedRange{First: 1, Count: 1},
+		Steps:      8_000,
+		Workload:   WorkloadSpec{Hold: 2, Think: 4},
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("%d cells, want 3", len(rep.Results))
+	}
+	for _, cr := range rep.Results {
+		if cr.TotalGrants == 0 {
+			t.Errorf("cell %s: no grants", cr.Label)
+		}
+	}
+}

@@ -20,19 +20,23 @@ import (
 // TopologySpec names one tree constructor of a sweep. Kind selects the
 // family; the other fields parameterize it (unused fields are ignored).
 type TopologySpec struct {
-	// Kind is one of chain|star|balanced|caterpillar|paper|random.
+	// Kind is one of chain|star|balanced|caterpillar|broom|spider|paper|
+	// random|prufer.
 	Kind string `json:"kind"`
-	// N sizes chain, star and random topologies.
+	// N sizes chain, star, random and prufer topologies.
 	N int `json:"n,omitempty"`
-	// Arity and Depth size balanced trees.
+	// Arity and Depth size balanced trees; Depth doubles as the leg length
+	// of spiders.
 	Arity int `json:"arity,omitempty"`
 	Depth int `json:"depth,omitempty"`
-	// Spine and Legs size caterpillars.
+	// Spine and Legs size caterpillars (spine length × legs per spine
+	// process) and brooms (handle length × bristle count); Legs doubles as
+	// the leg count of spiders.
 	Spine int `json:"spine,omitempty"`
 	Legs  int `json:"legs,omitempty"`
-	// Seed draws the random topology (Kind "random"); it is part of the
-	// grid cell, not the per-run seed, so every run of a cell sees the
-	// same tree.
+	// Seed draws the random topology (Kinds "random" and "prufer"); it is
+	// part of the grid cell, not the per-run seed, so every run of a cell
+	// sees the same tree.
 	Seed int64 `json:"seed,omitempty"`
 }
 
@@ -59,6 +63,16 @@ func (ts TopologySpec) Build() (*tree.Tree, error) {
 			return nil, fmt.Errorf("campaign: caterpillar needs spine ≥ 1")
 		}
 		return tree.Caterpillar(ts.Spine, ts.Legs), nil
+	case "broom":
+		if ts.Spine < 1 || ts.Legs < 0 || ts.Spine+ts.Legs < 2 {
+			return nil, fmt.Errorf("campaign: broom needs spine (handle) ≥ 1 and spine+legs ≥ 2")
+		}
+		return tree.Broom(ts.Spine, ts.Legs), nil
+	case "spider":
+		if ts.Legs < 1 || ts.Depth < 1 {
+			return nil, fmt.Errorf("campaign: spider needs legs ≥ 1 and depth (leg length) ≥ 1")
+		}
+		return tree.Spider(ts.Legs, ts.Depth), nil
 	case "paper":
 		return tree.Paper(), nil
 	case "random":
@@ -66,6 +80,11 @@ func (ts TopologySpec) Build() (*tree.Tree, error) {
 			return nil, fmt.Errorf("campaign: random needs n ≥ 2, got %d", ts.N)
 		}
 		return tree.Random(ts.N, rand.New(rand.NewSource(ts.Seed))), nil
+	case "prufer":
+		if ts.N < 2 {
+			return nil, fmt.Errorf("campaign: prufer needs n ≥ 2, got %d", ts.N)
+		}
+		return tree.Prufer(ts.N, rand.New(rand.NewSource(ts.Seed))), nil
 	default:
 		return nil, fmt.Errorf("campaign: unknown topology kind %q", ts.Kind)
 	}
@@ -80,8 +99,12 @@ func (ts TopologySpec) Label() string {
 		return fmt.Sprintf("balanced-%dx%d", ts.Arity, ts.Depth)
 	case "caterpillar":
 		return fmt.Sprintf("caterpillar-%dx%d", ts.Spine, ts.Legs)
-	case "random":
-		return fmt.Sprintf("random-%d-s%d", ts.N, ts.Seed)
+	case "broom":
+		return fmt.Sprintf("broom-%dx%d", ts.Spine, ts.Legs)
+	case "spider":
+		return fmt.Sprintf("spider-%dx%d", ts.Legs, ts.Depth)
+	case "random", "prufer":
+		return fmt.Sprintf("%s-%d-s%d", ts.Kind, ts.N, ts.Seed)
 	default:
 		return ts.Kind
 	}

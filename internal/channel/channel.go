@@ -22,10 +22,31 @@ type Channel struct {
 	queue []message.Message
 	head  int
 
+	notify func(nonempty bool)
+
 	// Stats.
 	Sent      int // messages ever enqueued (excluding initial garbage)
 	Delivered int // messages ever dequeued
 	MaxDepth  int // high-water mark of queue length
+}
+
+// OnEmptiness registers f to be called on every emptiness transition: with
+// true when the channel goes 0 → nonzero messages, with false when it drains
+// back to zero. Every mutator (Push, Seed, Pop, Replace) reports through this
+// single hook, which is what lets the simulator maintain its enabled-action
+// set incrementally instead of re-scanning every channel every step. At most
+// one observer is supported; registering replaces the previous one.
+func (c *Channel) OnEmptiness(f func(nonempty bool)) { c.notify = f }
+
+// notifyTransition fires the emptiness hook when the length moved across
+// zero. wasEmpty is the emptiness before the mutation.
+func (c *Channel) notifyTransition(wasEmpty bool) {
+	if c.notify == nil {
+		return
+	}
+	if isEmpty := c.Len() == 0; isEmpty != wasEmpty {
+		c.notify(!isEmpty)
+	}
 }
 
 // New returns an empty channel for the directed edge from → to.
@@ -38,20 +59,24 @@ func (c *Channel) Len() int { return len(c.queue) - c.head }
 
 // Push enqueues m at the tail.
 func (c *Channel) Push(m message.Message) {
+	wasEmpty := c.Len() == 0
 	c.queue = append(c.queue, m)
 	c.Sent++
 	if d := c.Len(); d > c.MaxDepth {
 		c.MaxDepth = d
 	}
+	c.notifyTransition(wasEmpty)
 }
 
 // Seed enqueues m without counting it as sent; used for initial-configuration
 // garbage and for seeding the non-self-stabilizing variants with tokens.
 func (c *Channel) Seed(m message.Message) {
+	wasEmpty := c.Len() == 0
 	c.queue = append(c.queue, m)
 	if d := c.Len(); d > c.MaxDepth {
 		c.MaxDepth = d
 	}
+	c.notifyTransition(wasEmpty)
 }
 
 // Pop dequeues the head message. It panics on an empty channel; callers must
@@ -70,6 +95,7 @@ func (c *Channel) Pop() message.Message {
 		c.queue = c.queue[:n]
 		c.head = 0
 	}
+	c.notifyTransition(false)
 	return m
 }
 
@@ -89,13 +115,17 @@ func (c *Channel) Snapshot() []message.Message {
 }
 
 // Replace overwrites the in-transit contents with msgs (head first). Used by
-// fault injectors to corrupt, drop or duplicate in-flight messages.
+// fault injectors to corrupt, drop or duplicate in-flight messages; the
+// emptiness hook keeps the simulator's enabled-action set in sync even for
+// such out-of-band mutations.
 func (c *Channel) Replace(msgs []message.Message) {
+	wasEmpty := c.Len() == 0
 	c.queue = append(c.queue[:0], msgs...)
 	c.head = 0
 	if d := c.Len(); d > c.MaxDepth {
 		c.MaxDepth = d
 	}
+	c.notifyTransition(wasEmpty)
 }
 
 // Count returns the number of in-transit messages of the given kind.

@@ -177,3 +177,63 @@ func TestString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+// TestOnEmptinessTransitions pins the hook contract every mutator shares:
+// fire with true on 0→nonzero, with false on nonzero→0, and stay silent on
+// every non-transition — the invariant the simulator's incremental
+// enabled-action set is built on.
+func TestOnEmptinessTransitions(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	var events []bool
+	c.OnEmptiness(func(nonempty bool) { events = append(events, nonempty) })
+
+	c.Push(message.NewRes())                                          // 0→1: true
+	c.Push(message.NewRes())                                          // 1→2: silent
+	c.Pop()                                                           // 2→1: silent
+	c.Pop()                                                           // 1→0: false
+	c.Seed(message.NewPush())                                         // 0→1: true
+	c.Replace(nil)                                                    // 1→0: false
+	c.Replace([]message.Message{message.NewRes(), message.NewPrio()}) // 0→2: true
+	c.Replace([]message.Message{message.NewRes()})                    // 2→1: silent
+	c.Pop()                                                           // 1→0: false
+
+	want := []bool{true, false, true, false, true, false}
+	if len(events) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d (%v)", len(events), events, len(want), want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (all: %v)", i, events[i], want[i], events)
+		}
+	}
+}
+
+// TestOnEmptinessSurvivesCompaction checks the Pop-side compaction (head
+// reset) does not confuse the transition detection.
+func TestOnEmptinessSurvivesCompaction(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	fired := 0
+	c.OnEmptiness(func(nonempty bool) { fired++ })
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 100; i++ {
+			c.Push(message.NewRes())
+		}
+		for c.Len() > 0 {
+			c.Pop()
+		}
+	}
+	if fired != 10 { // one true + one false per round
+		t.Errorf("hook fired %d times, want 10", fired)
+	}
+}
+
+// TestNoHookIsFine: channels without an observer must work unchanged.
+func TestNoHookIsFine(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	c.Push(message.NewRes())
+	c.Replace(nil)
+	c.Seed(message.NewRes())
+	if c.Pop().Kind != message.Res {
+		t.Error("hookless channel misbehaved")
+	}
+}

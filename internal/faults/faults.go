@@ -5,6 +5,14 @@
 //
 // All injectors are deterministic functions of the supplied RNG, so fault
 // scenarios are reproducible from a seed.
+//
+// Resync rule: the simulator schedules from an incrementally maintained
+// enabled-action set, so injectors must mutate channel contents only through
+// the channel API (Seed/Replace/Push/Pop) — whose emptiness hooks keep that
+// set in sync automatically — or call sim.Sim.ResyncActions afterwards.
+// Every injector in this package uses the channel API exclusively; state
+// corruption (core.Node.Restore) cannot change action enablement and needs
+// no resync.
 package faults
 
 import (

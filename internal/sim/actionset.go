@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kofl/internal/tree"
+)
+
+// ActionSet is the persistent set of currently enabled actions, maintained
+// incrementally by the kernel: channels report emptiness transitions, the
+// timeout bit is synced from the clock, and applications register wake times
+// instead of being polled — so a step costs O(changes), not O(E+n).
+//
+// Every possible action of a topology has a fixed ordinal:
+//
+//	[0, e)        deliveries, lexicographic by (receiver, channel)
+//	e             the root timeout
+//	[e+1, e+1+n)  application actions by process id
+//
+// where e = 2(n-1) is the number of directed channels. Ordinal order IS the
+// order the historical full-scan kernel enumerated enabled actions in, and
+// all ordered accessors (At, AppendAll) follow it — the determinism contract
+// that makes every seeded experiment reproduce byte-identically across the
+// scan and incremental kernels.
+//
+// Internally the set is a dense swap-remove index (O(1) add/remove/len)
+// paired with ordinal and per-process bitmaps (canonical-order enumeration,
+// order-statistic selection and next-enabled-process queries via popcount).
+type ActionSet struct {
+	n     int     // processes
+	e     int     // deliver ordinals (directed channels)
+	m     int     // total ordinals: e + 1 + n
+	base  []int32 // base[p]: first deliver ordinal of process p; base[n] = e
+	owner []int32 // owner[ord]: receiving process of deliver ordinal ord
+
+	dense []int32 // enabled ordinals, unordered
+	pos   []int32 // pos[ord]: index into dense, or -1
+
+	words     []uint64 // membership bitmap over ordinals
+	perProc   []int32  // enabled actions per process (timeout counts for the root)
+	procWords []uint64 // bitmap of processes with perProc > 0
+}
+
+// newActionSet sizes an empty set for topology t.
+func newActionSet(t *tree.Tree) *ActionSet {
+	n := t.N()
+	as := &ActionSet{
+		n:    n,
+		base: make([]int32, n+1),
+	}
+	off := int32(0)
+	for p := 0; p < n; p++ {
+		as.base[p] = off
+		off += int32(t.Degree(p))
+	}
+	as.base[n] = off
+	as.e = int(off)
+	as.m = as.e + 1 + n
+	as.owner = make([]int32, as.e)
+	for p := 0; p < n; p++ {
+		for ord := as.base[p]; ord < as.base[p+1]; ord++ {
+			as.owner[ord] = int32(p)
+		}
+	}
+	as.pos = make([]int32, as.m)
+	for i := range as.pos {
+		as.pos[i] = -1
+	}
+	as.words = make([]uint64, (as.m+63)/64)
+	as.perProc = make([]int32, n)
+	as.procWords = make([]uint64, (n+63)/64)
+	return as
+}
+
+// ordDeliver returns the ordinal of delivering into (p, ch).
+func (as *ActionSet) ordDeliver(p, ch int) int { return int(as.base[p]) + ch }
+
+// ordTimeout returns the ordinal of the root timeout.
+func (as *ActionSet) ordTimeout() int { return as.e }
+
+// ordApp returns the ordinal of process p's application action.
+func (as *ActionSet) ordApp(p int) int { return as.e + 1 + p }
+
+// procOf returns the process an ordinal belongs to (the root for the
+// timeout).
+func (as *ActionSet) procOf(ord int) int {
+	if ord >= as.e {
+		if ord == as.e {
+			return 0 // the timeout belongs to the root
+		}
+		return ord - as.e - 1
+	}
+	return int(as.owner[ord])
+}
+
+// actionOf decodes an ordinal.
+func (as *ActionSet) actionOf(ord int) Action {
+	switch {
+	case ord < as.e:
+		p := as.procOf(ord)
+		return Action{Kind: ActDeliver, Proc: p, Ch: ord - int(as.base[p])}
+	case ord == as.e:
+		return Action{Kind: ActTimeout, Proc: 0}
+	default:
+		return Action{Kind: ActApp, Proc: ord - as.e - 1}
+	}
+}
+
+// ordinal encodes a (valid) action; it returns -1 for out-of-range ones.
+func (as *ActionSet) ordinal(a Action) int {
+	switch a.Kind {
+	case ActDeliver:
+		if a.Proc < 0 || a.Proc >= as.n || a.Ch < 0 {
+			return -1
+		}
+		ord := int(as.base[a.Proc]) + a.Ch
+		if ord >= int(as.base[a.Proc+1]) {
+			return -1
+		}
+		return ord
+	case ActTimeout:
+		if a.Proc != 0 {
+			return -1
+		}
+		return as.e
+	case ActApp:
+		if a.Proc < 0 || a.Proc >= as.n {
+			return -1
+		}
+		return as.e + 1 + a.Proc
+	}
+	return -1
+}
+
+// add inserts ordinal ord (idempotent).
+func (as *ActionSet) add(ord int) {
+	if as.pos[ord] >= 0 {
+		return
+	}
+	as.pos[ord] = int32(len(as.dense))
+	as.dense = append(as.dense, int32(ord))
+	as.words[ord>>6] |= 1 << (uint(ord) & 63)
+	p := as.procOf(ord)
+	if as.perProc[p]++; as.perProc[p] == 1 {
+		as.procWords[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// remove deletes ordinal ord (idempotent) by swap-remove on the dense index.
+func (as *ActionSet) remove(ord int) {
+	i := as.pos[ord]
+	if i < 0 {
+		return
+	}
+	last := as.dense[len(as.dense)-1]
+	as.dense[i] = last
+	as.pos[last] = i
+	as.dense = as.dense[:len(as.dense)-1]
+	as.pos[ord] = -1
+	as.words[ord>>6] &^= 1 << (uint(ord) & 63)
+	p := as.procOf(ord)
+	if as.perProc[p]--; as.perProc[p] == 0 {
+		as.procWords[p>>6] &^= 1 << (uint(p) & 63)
+	}
+}
+
+// set forces membership of ord to enabled.
+func (as *ActionSet) set(ord int, enabled bool) {
+	if enabled {
+		as.add(ord)
+	} else {
+		as.remove(ord)
+	}
+}
+
+// clear empties the set in O(enabled).
+func (as *ActionSet) clear() {
+	for _, ord := range as.dense {
+		as.pos[ord] = -1
+		as.words[ord>>6] &^= 1 << (uint(ord) & 63)
+		p := as.procOf(int(ord))
+		if as.perProc[p]--; as.perProc[p] == 0 {
+			as.procWords[p>>6] &^= 1 << (uint(p) & 63)
+		}
+	}
+	as.dense = as.dense[:0]
+}
+
+// Len returns the number of enabled actions.
+func (as *ActionSet) Len() int { return len(as.dense) }
+
+// Contains reports whether a is currently enabled.
+func (as *ActionSet) Contains(a Action) bool {
+	ord := as.ordinal(a)
+	return ord >= 0 && as.pos[ord] >= 0
+}
+
+// At returns the i-th enabled action in canonical (old-scan) order: all
+// deliveries lexicographic by (process, channel), then the timeout, then
+// application actions by process. It panics when i is out of range — exactly
+// as the historical kernel panicked on an out-of-range scheduler pick.
+func (as *ActionSet) At(i int) Action {
+	if i < 0 || i >= len(as.dense) {
+		panic(fmt.Sprintf("sim: scheduler picked %d of %d actions", i, len(as.dense)))
+	}
+	rank := i
+	for w, word := range as.words {
+		c := bits.OnesCount64(word)
+		if rank >= c {
+			rank -= c
+			continue
+		}
+		for ; rank > 0; rank-- {
+			word &= word - 1 // clear lowest set bit
+		}
+		return as.actionOf(w<<6 + bits.TrailingZeros64(word))
+	}
+	panic("sim: ActionSet bitmap out of sync with dense index")
+}
+
+// AppendAll appends every enabled action to dst in canonical order.
+func (as *ActionSet) AppendAll(dst []Action) []Action {
+	for w, word := range as.words {
+		for ; word != 0; word &= word - 1 {
+			dst = append(dst, as.actionOf(w<<6+bits.TrailingZeros64(word)))
+		}
+	}
+	return dst
+}
+
+// NextProc returns the first process, scanning cyclically from `from`, that
+// has at least one enabled action (the root timeout counts as the root's),
+// or -1 when the set is empty.
+func (as *ActionSet) NextProc(from int) int {
+	if len(as.dense) == 0 {
+		return -1
+	}
+	if from >= as.n || from < 0 {
+		from = 0
+	}
+	// [from, n) then the wrap-around [0, from).
+	if p := as.scanProcs(from, as.n); p >= 0 {
+		return p
+	}
+	return as.scanProcs(0, from)
+}
+
+// scanProcs returns the first process in [lo, hi) with an enabled action.
+func (as *ActionSet) scanProcs(lo, hi int) int {
+	for w := lo >> 6; w <= (hi-1)>>6 && w < len(as.procWords); w++ {
+		word := as.procWords[w]
+		if w == lo>>6 {
+			word &^= (1 << (uint(lo) & 63)) - 1
+		}
+		if word == 0 {
+			continue
+		}
+		p := w<<6 + bits.TrailingZeros64(word)
+		if p < hi {
+			return p
+		}
+		return -1
+	}
+	return -1
+}
+
+// MinDeliver returns the lowest enabled deliver channel of process p, or -1.
+func (as *ActionSet) MinDeliver(p int) int {
+	lo, hi := int(as.base[p]), int(as.base[p+1])
+	for w := lo >> 6; hi > 0 && w <= (hi-1)>>6; w++ {
+		word := as.words[w]
+		if w == lo>>6 {
+			word &^= (1 << (uint(lo) & 63)) - 1
+		}
+		if word == 0 {
+			continue
+		}
+		ord := w<<6 + bits.TrailingZeros64(word)
+		if ord < hi {
+			return ord - lo
+		}
+		return -1
+	}
+	return -1
+}
+
+// EachDeliver calls f with every enabled deliver channel of process p in
+// ascending order, stopping early when f returns false.
+func (as *ActionSet) EachDeliver(p int, f func(ch int) bool) {
+	lo, hi := int(as.base[p]), int(as.base[p+1])
+	for w := lo >> 6; hi > 0 && w <= (hi-1)>>6; w++ {
+		word := as.words[w]
+		if w == lo>>6 {
+			word &^= (1 << (uint(lo) & 63)) - 1
+		}
+		for ; word != 0; word &= word - 1 {
+			ord := w<<6 + bits.TrailingZeros64(word)
+			if ord >= hi {
+				return
+			}
+			if !f(ord - lo) {
+				return
+			}
+		}
+	}
+}
+
+// HasApp reports whether process p's application action is enabled.
+func (as *ActionSet) HasApp(p int) bool { return as.pos[as.ordApp(p)] >= 0 }
+
+// TimeoutEnabled reports whether the root timeout is enabled.
+func (as *ActionSet) TimeoutEnabled() bool { return as.pos[as.ordTimeout()] >= 0 }

@@ -8,21 +8,24 @@ import (
 
 // RandomScheduler picks uniformly among the enabled actions using the
 // simulation RNG: the standard fair asynchronous adversary (every pending
-// action is eventually executed with probability 1).
+// action is eventually executed with probability 1). One order-statistic
+// query on the persistent set — no per-step scan.
 type RandomScheduler struct{}
 
 // NewRandomScheduler returns the fair uniform scheduler.
 func NewRandomScheduler() *RandomScheduler { return &RandomScheduler{} }
 
 // Next implements Scheduler.
-func (*RandomScheduler) Next(s *Sim, actions []Action) int {
-	return s.Rand().Intn(len(actions))
+func (*RandomScheduler) Next(s *Sim, actions *ActionSet) Action {
+	return actions.At(s.Rand().Intn(actions.Len()))
 }
 
 // RoundRobinScheduler rotates deterministically through processes: at each
 // step it picks the enabled action whose process id follows the previously
 // scheduled one (cyclically), breaking ties among a process's actions by
-// kind then channel. It is fair and fully deterministic.
+// kind then channel. It is fair and fully deterministic. The per-process
+// bitmap answers "next process with an enabled action" directly, replacing
+// the historical scan over every enabled action.
 type RoundRobinScheduler struct {
 	last int
 }
@@ -31,18 +34,22 @@ type RoundRobinScheduler struct {
 func NewRoundRobinScheduler() *RoundRobinScheduler { return &RoundRobinScheduler{} }
 
 // Next implements Scheduler.
-func (r *RoundRobinScheduler) Next(s *Sim, actions []Action) int {
+func (r *RoundRobinScheduler) Next(s *Sim, actions *ActionSet) Action {
 	n := s.Tree.N()
-	best, bestKey := -1, 1<<62
-	for i, a := range actions {
-		// Distance from the process after `last`, then kind, then channel.
-		key := ((a.Proc-r.last-1+n)%n)<<20 | int(a.Kind)<<16 | a.Ch
-		if key < bestKey {
-			best, bestKey = i, key
-		}
+	p := actions.NextProc((r.last + 1) % n)
+	if p < 0 {
+		panic("sim: round-robin scheduler invoked with no enabled actions")
 	}
-	r.last = actions[best].Proc
-	return best
+	r.last = p
+	// Within a process: deliveries by ascending channel, then the timeout,
+	// then the application action — the historical tie-break order.
+	if ch := actions.MinDeliver(p); ch >= 0 {
+		return Action{Kind: ActDeliver, Proc: p, Ch: ch}
+	}
+	if p == s.Tree.Root() && actions.TimeoutEnabled() {
+		return Action{Kind: ActTimeout, Proc: p}
+	}
+	return Action{Kind: ActApp, Proc: p}
 }
 
 // Pick is one entry of a scripted schedule: it selects an enabled action by
@@ -71,6 +78,41 @@ func Deliver(p, ch int, k message.Kind) Pick {
 
 // AppAct returns a Pick matching an application action at process p.
 func AppAct(p int) Pick { return Pick{Kind: ActApp, Proc: p, Ch: AnyCh} }
+
+// match resolves the pick against the enabled set: O(1) membership tests
+// instead of a scan (an AnyCh delivery walks only the process's enabled
+// channels in ascending order — the historical first-match order).
+func (p Pick) match(s *Sim, actions *ActionSet) (Action, bool) {
+	switch p.Kind {
+	case ActDeliver:
+		if p.Ch != AnyCh {
+			a := Action{Kind: ActDeliver, Proc: p.Proc, Ch: p.Ch}
+			if actions.Contains(a) && (p.Msg == 0 || s.Peek(a).Kind == p.Msg) {
+				return a, true
+			}
+			return Action{}, false
+		}
+		var found Action
+		ok := false
+		if p.Proc >= 0 && p.Proc < s.Tree.N() {
+			actions.EachDeliver(p.Proc, func(ch int) bool {
+				a := Action{Kind: ActDeliver, Proc: p.Proc, Ch: ch}
+				if p.Msg == 0 || s.Peek(a).Kind == p.Msg {
+					found, ok = a, true
+					return false
+				}
+				return true
+			})
+		}
+		return found, ok
+	case ActTimeout:
+		a := Action{Kind: ActTimeout, Proc: p.Proc}
+		return a, actions.Contains(a)
+	default:
+		a := Action{Kind: ActApp, Proc: p.Proc}
+		return a, actions.Contains(a)
+	}
+}
 
 // ScriptScheduler replays an explicit, possibly looping, schedule — the tool
 // used to reproduce the paper's hand-constructed executions (Figure 3's
@@ -105,7 +147,7 @@ func (ss *ScriptScheduler) Cycles() int { return ss.cycles }
 func (ss *ScriptScheduler) Broken() bool { return ss.broken }
 
 // Next implements Scheduler.
-func (ss *ScriptScheduler) Next(s *Sim, actions []Action) int {
+func (ss *ScriptScheduler) Next(s *Sim, actions *ActionSet) Action {
 	if ss.broken {
 		return ss.fallback(s, actions, "script already broken")
 	}
@@ -124,32 +166,22 @@ func (ss *ScriptScheduler) Next(s *Sim, actions []Action) int {
 	} else {
 		p = ss.Script[ss.pos]
 	}
-	for i, a := range actions {
-		if a.Kind != p.Kind || a.Proc != p.Proc {
-			continue
-		}
-		if p.Kind == ActDeliver {
-			if p.Ch != AnyCh && a.Ch != p.Ch {
-				continue
-			}
-			if p.Msg != 0 && s.Peek(a).Kind != p.Msg {
-				continue
-			}
-		}
+	if a, ok := p.match(s, actions); ok {
 		if fromPrefix {
 			ss.prefixPos++
 		} else {
 			ss.pos++
 		}
-		return i
+		return a
 	}
 	return ss.fallback(s, actions, p.String()+" not enabled")
 }
 
-func (ss *ScriptScheduler) fallback(s *Sim, actions []Action, why string) int {
+func (ss *ScriptScheduler) fallback(s *Sim, actions *ActionSet, why string) Action {
 	ss.broken = true
 	if ss.Fallback == nil {
-		panic(fmt.Sprintf("sim: script broken at step %d: %s (enabled: %v)", ss.pos, why, actions))
+		panic(fmt.Sprintf("sim: script broken at step %d: %s (enabled: %v)",
+			ss.pos, why, actions.AppendAll(nil)))
 	}
 	return ss.Fallback.Next(s, actions)
 }
@@ -166,6 +198,8 @@ type SlowPrioScheduler struct {
 	// Eps is the probability of picking a delayed action when faster ones
 	// exist (default 1/64 if 0).
 	Eps float64
+
+	buf []Action // reused enumeration scratch
 }
 
 // NewSlowPrioScheduler returns the Theorem 2 adversary against target.
@@ -182,8 +216,13 @@ func NewSlowPrioScheduler(target int, eps float64) *SlowPrioScheduler {
 // the other processes — runs at full speed. (Delaying deliveries *to* the
 // target is self-defeating: every token transits every process once per
 // virtual-ring lap, so a slow process throttles the whole system, FIFO
-// queueing the pusher and controller behind the delayed tokens.)
-func (sp *SlowPrioScheduler) Next(s *Sim, actions []Action) int {
+// queueing the pusher and controller behind the delayed tokens.) The rule
+// examines only the enabled actions — a bounded population once the system
+// stabilizes — enumerated in canonical order so the RNG stream matches the
+// historical scan kernel draw for draw.
+func (sp *SlowPrioScheduler) Next(s *Sim, as *ActionSet) Action {
+	sp.buf = as.AppendAll(sp.buf[:0])
+	actions := sp.buf
 	var fast, slow []int
 	for i, a := range actions {
 		if a.Kind == ActDeliver && s.Peek(a).Kind == message.Prio {
@@ -193,12 +232,12 @@ func (sp *SlowPrioScheduler) Next(s *Sim, actions []Action) int {
 		fast = append(fast, i)
 	}
 	if len(slow) > 0 && (len(fast) == 0 || s.Rand().Float64() < sp.Eps) {
-		return slow[s.Rand().Intn(len(slow))]
+		return actions[slow[s.Rand().Intn(len(slow))]]
 	}
 	if len(fast) > 0 {
-		return fast[s.Rand().Intn(len(fast))]
+		return actions[fast[s.Rand().Intn(len(fast))]]
 	}
-	return s.Rand().Intn(len(actions))
+	return actions[s.Rand().Intn(len(actions))]
 }
 
 // AntiTargetScheduler is a rule-based adversary that tries to starve one
@@ -211,6 +250,8 @@ func (sp *SlowPrioScheduler) Next(s *Sim, actions []Action) int {
 // priority token defeats it.
 type AntiTargetScheduler struct {
 	Target int
+
+	buf []Action // reused enumeration scratch
 }
 
 // NewAntiTargetScheduler returns an adversary against process target.
@@ -219,7 +260,9 @@ func NewAntiTargetScheduler(target int) *AntiTargetScheduler {
 }
 
 // Next implements Scheduler.
-func (at *AntiTargetScheduler) Next(s *Sim, actions []Action) int {
+func (at *AntiTargetScheduler) Next(s *Sim, as *ActionSet) Action {
+	at.buf = as.AppendAll(at.buf[:0])
+	actions := at.buf
 	node := s.Nodes[at.Target]
 	starving := node.State().String() == "Req" && node.Reserved() < node.Need()
 	var preferred, neutral []int
@@ -241,10 +284,10 @@ func (at *AntiTargetScheduler) Next(s *Sim, actions []Action) int {
 		}
 	}
 	if len(preferred) > 0 {
-		return preferred[s.Rand().Intn(len(preferred))]
+		return actions[preferred[s.Rand().Intn(len(preferred))]]
 	}
 	if len(neutral) > 0 {
-		return neutral[s.Rand().Intn(len(neutral))]
+		return actions[neutral[s.Rand().Intn(len(neutral))]]
 	}
-	return s.Rand().Intn(len(actions))
+	return actions[s.Rand().Intn(len(actions))]
 }

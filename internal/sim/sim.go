@@ -8,10 +8,40 @@
 // letting an application act (issue a request / finish its critical
 // section). A run is a pure function of (topology, config, seed, scheduler),
 // so every experiment is reproducible.
+//
+// # Incremental enabled-action kernel
+//
+// The kernel does NOT rescan channels and applications every step. It keeps
+// a persistent ActionSet maintained incrementally: channels report emptiness
+// transitions through an OnEmptiness hook, the root-timeout bit is synced
+// from the clock in O(1), and applications register wake times (see Waker)
+// instead of being polled — so a step costs O(changes), amortized O(1) for
+// the protocol's bounded token population, instead of O(E+n).
+//
+// # Enumeration-order determinism contract
+//
+// The ActionSet enumerates enabled actions in exactly the order the
+// historical full-scan kernel produced: deliveries lexicographic by
+// (receiver, channel), then the timeout, then application actions by
+// process id. Schedulers draw from the set only through order-respecting
+// accessors, so every seeded run reproduces byte-identically regardless of
+// how the set is maintained. Options.FullRescan selects the legacy rebuild-
+// every-step oracle; the differential tests run both kernels side by side
+// and assert identical action sequences.
+//
+// # Fault-injection resync rule
+//
+// Out-of-band mutations must keep the ActionSet in sync. Mutating channel
+// contents through the channel API (Push/Pop/Seed/Replace) is always safe —
+// the emptiness hooks fire. Any other out-of-band change that could affect
+// enablement must be followed by a call to Sim.ResyncActions, which rebuilds
+// the set from a full scan.
 package sim
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 
 	"kofl/internal/channel"
@@ -52,10 +82,13 @@ func (a Action) String() string {
 }
 
 // Scheduler picks the next action among the enabled ones; it is the
-// asynchrony adversary. peek returns the head message of a deliver action's
-// channel so rule-based adversaries can match on message kinds.
+// asynchrony adversary. It draws from the persistent ActionSet — by
+// canonical index (At), full enumeration (AppendAll), or the structured
+// queries (NextProc, MinDeliver, ...) — and returns the chosen action, which
+// must be enabled. Sim.Peek lets rule-based adversaries match on the message
+// a deliver action would deliver.
 type Scheduler interface {
-	Next(s *Sim, actions []Action) int
+	Next(s *Sim, actions *ActionSet) Action
 }
 
 // Handle is the application's lever on its own process, passed to App.Act.
@@ -74,11 +107,29 @@ type Handle interface {
 // App is a simulated application driving one process. It extends the
 // protocol-facing core.App with the scheduling side: Enabled reports whether
 // the application wants to act, and Act performs the action when the
-// scheduler grants it a step.
+// scheduler grants it a step. Enabled must be side-effect free: the kernel
+// polls it at times of its choosing.
 type App interface {
 	core.App
 	Enabled(now int64) bool
 	Act(h Handle)
+}
+
+// NoWake is the Waker return value for "enablement is purely event-driven":
+// no clock advance alone can enable this application.
+const NoWake int64 = math.MaxInt64
+
+// Waker is an optional App extension that lets the kernel skip per-step
+// polling. When the application is disabled, WakeAt(now) returns the
+// earliest clock value at which Enabled may become true without any further
+// protocol or application event at the process — or NoWake if only events
+// can enable it. Implementing Waker is a contract: between an event at the
+// process and the returned wake time, Enabled must not change; and once
+// enabled, the application must stay enabled until its next event (Act,
+// EnterCS, or a Handle call). Applications that do not implement Waker are
+// polled every step, which is always correct but costs O(1) per step each.
+type Waker interface {
+	WakeAt(now int64) int64
 }
 
 // Options configures a simulation.
@@ -93,6 +144,11 @@ type Options struct {
 	TimeoutTicks int64
 	// Observer additionally receives every protocol event (may be nil).
 	Observer core.Observer
+	// FullRescan selects the legacy O(E+n) kernel that rebuilds the enabled-
+	// action set from a full scan every step. It exists as the differential-
+	// testing oracle and the before-side of the step-throughput benchmark;
+	// the incremental kernel is bit-for-bit equivalent and strictly faster.
+	FullRescan bool
 }
 
 // DefaultTimeoutTicks returns the default retransmission timeout for a tree
@@ -100,6 +156,12 @@ type Options struct {
 // circulations under a fair random scheduler.
 func DefaultTimeoutTicks(ringLen, l int) int64 {
 	return int64(16 * ringLen * (l + 4))
+}
+
+// wake is one pending application wake-up: proc re-polls at clock `at`.
+type wake struct {
+	at   int64
+	proc int32
 }
 
 // Sim is one simulated system.
@@ -121,6 +183,14 @@ type Sim struct {
 	observers []core.Observer
 	envs      []*env
 
+	// The incremental scheduling kernel.
+	actions     *ActionSet
+	wakes       []wake   // min-heap on at; stale entries skipped via wakeAt
+	wakeAt      []int64  // wakeAt[p]: registered wake time (NoWake = none)
+	polledWords []uint64 // bitmap of legacy (non-Waker) apps polled per step
+	nPolled     int
+	rescan      bool // Options.FullRescan
+
 	// Counters.
 	Steps      int64
 	Delivered  [5]int64 // by message.Kind
@@ -134,7 +204,6 @@ type Sim struct {
 	LastMsg    message.Message
 
 	stepHooks []func(*Sim)
-	actBuf    []Action // reused scratch for enabled-action scans
 }
 
 // AddStepHook registers f to run after every executed step.
@@ -160,6 +229,13 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 		sched:        opts.Scheduler,
 		timeoutTicks: opts.TimeoutTicks,
 		envs:         make([]*env, t.N()),
+		actions:      newActionSet(t),
+		wakeAt:       make([]int64, t.N()),
+		polledWords:  make([]uint64, (t.N()+63)/64),
+		rescan:       opts.FullRescan,
+	}
+	for p := range s.wakeAt {
+		s.wakeAt[p] = NoWake
 	}
 	if s.sched == nil {
 		s.sched = NewRandomScheduler()
@@ -181,6 +257,12 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 			c := channel.New(p, ch, q, toCh)
 			s.out[p][ch] = c
 			s.in[q][toCh] = c
+			if !s.rescan {
+				ord := s.actions.ordDeliver(q, toCh)
+				c.OnEmptiness(func(nonempty bool) {
+					s.actions.set(ord, nonempty)
+				})
+			}
 		}
 	}
 	for p := 0; p < t.N(); p++ {
@@ -193,6 +275,7 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 		node.SetObserver(s.fanout)
 		s.Nodes[p] = node
 		s.envs[p] = &env{s: s, p: p}
+		s.pollApp(p)
 	}
 	return s, nil
 }
@@ -211,6 +294,7 @@ type nopApp struct{ core.NopApp }
 
 func (nopApp) Enabled(int64) bool { return false }
 func (nopApp) Act(Handle)         {}
+func (nopApp) WakeAt(int64) int64 { return NoWake }
 
 // appShim adapts the per-process App to the protocol's core.App view,
 // indirecting through the slice so apps can be attached after New.
@@ -223,7 +307,12 @@ func (a appShim) EnterCS()        { a.s.Apps[a.p].EnterCS() }
 func (a appShim) ReleaseCS() bool { return a.s.Apps[a.p].ReleaseCS() }
 
 // AttachApp installs the application driving process p.
-func (s *Sim) AttachApp(p int, app App) { s.Apps[p] = app }
+func (s *Sim) AttachApp(p int, app App) {
+	s.Apps[p] = app
+	s.unmarkPolled(p)
+	s.wakeAt[p] = NoWake
+	s.pollApp(p)
+}
 
 // AddObserver registers an additional protocol-event monitor.
 func (s *Sim) AddObserver(o core.Observer) { s.observers = append(s.observers, o) }
@@ -259,9 +348,14 @@ type handle struct {
 func (h handle) ID() int    { return h.p }
 func (h handle) Now() int64 { return h.s.clock }
 func (h handle) Request(need int) error {
-	return h.s.Nodes[h.p].Request(h.s.envs[h.p], need)
+	err := h.s.Nodes[h.p].Request(h.s.envs[h.p], need)
+	h.s.pollApp(h.p)
+	return err
 }
-func (h handle) Poll() { h.s.Nodes[h.p].Poll(h.s.envs[h.p]) }
+func (h handle) Poll() {
+	h.s.Nodes[h.p].Poll(h.s.envs[h.p])
+	h.s.pollApp(h.p)
+}
 
 // Handle returns the application lever of process p. The paper's execution
 // model admits transitions in which "an external application modifies an
@@ -294,8 +388,10 @@ func (s *Sim) Channels(f func(*channel.Channel)) {
 // Rand exposes the simulation RNG (for schedulers).
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// enabled appends all currently enabled actions to dst and returns it.
-func (s *Sim) enabled(dst []Action) []Action {
+// scanEnabled appends all currently enabled actions to dst in canonical
+// order and returns it: the historical full scan, kept as the oracle for
+// ResyncActions, the FullRescan kernel, and the differential/fuzz tests.
+func (s *Sim) scanEnabled(dst []Action) []Action {
 	for p := range s.in {
 		for ch, c := range s.in[p] {
 			if c.Len() > 0 {
@@ -318,6 +414,133 @@ func (s *Sim) timerExpired() bool {
 	return s.Cfg.Features.Controller && s.clock-s.lastRestart >= s.timeoutTicks
 }
 
+// pollApp re-evaluates process p's application enablement and updates the
+// ActionSet: the dirty-flag path, called after every event that can change
+// enablement (the app acted, its node handled a message or timeout, a Handle
+// call, attachment) and at registered wake times. Disabled Waker apps
+// register their next wake; disabled non-Waker apps fall back to per-step
+// polling.
+func (s *Sim) pollApp(p int) {
+	if s.rescan {
+		return
+	}
+	app := s.Apps[p]
+	ord := s.actions.ordApp(p)
+	w, isWaker := app.(Waker)
+	if !isWaker {
+		// Non-Waker enablement may flip in EITHER direction on a pure clock
+		// advance, so the app is re-polled every step from now on — whether
+		// it is currently enabled or not.
+		s.markPolled(p)
+	}
+	if app.Enabled(s.clock) {
+		s.actions.add(ord)
+		return
+	}
+	s.actions.remove(ord)
+	if !isWaker {
+		return
+	}
+	t := w.WakeAt(s.clock)
+	if t == NoWake {
+		s.wakeAt[p] = NoWake // stale heap entries are skipped on pop
+		return
+	}
+	if t <= s.clock {
+		// Contract violation (disabled now but "wakeable" in the past);
+		// stay safe by re-checking on the next step.
+		t = s.clock + 1
+	}
+	if s.wakeAt[p] != t {
+		s.wakeAt[p] = t
+		wakePush(&s.wakes, wake{at: t, proc: int32(p)})
+	}
+}
+
+func (s *Sim) markPolled(p int) {
+	if s.polledWords[p>>6]&(1<<(uint(p)&63)) == 0 {
+		s.polledWords[p>>6] |= 1 << (uint(p) & 63)
+		s.nPolled++
+	}
+}
+
+func (s *Sim) unmarkPolled(p int) {
+	if s.polledWords[p>>6]&(1<<(uint(p)&63)) != 0 {
+		s.polledWords[p>>6] &^= 1 << (uint(p) & 63)
+		s.nPolled--
+	}
+}
+
+// syncActions brings the ActionSet up to date with the clock: the timeout
+// bit, applications whose wake time arrived, and legacy polled apps. In
+// FullRescan mode it instead rebuilds the whole set from a scan.
+func (s *Sim) syncActions() {
+	if s.rescan {
+		s.rebuildFromScan()
+		return
+	}
+	s.actions.set(s.actions.ordTimeout(), s.timerExpired())
+	for len(s.wakes) > 0 && s.wakes[0].at <= s.clock {
+		w := wakePop(&s.wakes)
+		p := int(w.proc)
+		if s.wakeAt[p] == w.at {
+			s.wakeAt[p] = NoWake
+			s.pollApp(p)
+		}
+	}
+	if s.nPolled > 0 {
+		for w, word := range s.polledWords {
+			for ; word != 0; word &= word - 1 {
+				s.pollApp(w<<6 + bits.TrailingZeros64(word))
+			}
+		}
+	}
+}
+
+// scanDelivers re-adds every non-empty channel's deliver ordinal: the
+// deliver half of a full rebuild, shared by the scan oracle and the resync
+// path so their enablement criterion cannot drift apart.
+func (s *Sim) scanDelivers() {
+	for p := range s.in {
+		for ch, c := range s.in[p] {
+			if c.Len() > 0 {
+				s.actions.add(s.actions.ordDeliver(p, ch))
+			}
+		}
+	}
+}
+
+// rebuildFromScan reconstructs the ActionSet from a full scan.
+func (s *Sim) rebuildFromScan() {
+	s.actions.clear()
+	s.scanDelivers()
+	if s.timerExpired() {
+		s.actions.add(s.actions.ordTimeout())
+	}
+	for p, a := range s.Apps {
+		if a.Enabled(s.clock) {
+			s.actions.add(s.actions.ordApp(p))
+		}
+	}
+}
+
+// ResyncActions rebuilds the enabled-action set from a full scan. Channel
+// mutations through the channel API and application events through Handles
+// keep the set in sync automatically; call this after any OTHER out-of-band
+// change that could affect enablement (the fault-injection resync rule).
+func (s *Sim) ResyncActions() {
+	if s.rescan {
+		s.rebuildFromScan()
+		return
+	}
+	s.actions.clear()
+	s.scanDelivers()
+	s.actions.set(s.actions.ordTimeout(), s.timerExpired())
+	for p := range s.Apps {
+		s.pollApp(p)
+	}
+}
+
 // Peek returns the message an ActDeliver action would deliver. It panics for
 // other action kinds.
 func (s *Sim) Peek(a Action) message.Message {
@@ -334,21 +557,23 @@ func (s *Sim) Peek(a Action) message.Message {
 // the timeout itself becomes enabled; so with the controller Step only
 // returns false if the scheduler misbehaves).
 func (s *Sim) Step() bool {
-	s.actBuf = s.enabled(s.actBuf[:0])
-	if len(s.actBuf) == 0 {
-		if s.Cfg.Features.Controller {
-			// Quiescent but self-stabilizing: fast-forward to the timeout.
-			s.clock = s.lastRestart + s.timeoutTicks
-			s.actBuf = append(s.actBuf, Action{Kind: ActTimeout, Proc: s.Tree.Root()})
-		} else {
+	s.syncActions()
+	if s.actions.Len() == 0 {
+		if !s.Cfg.Features.Controller {
 			return false
 		}
+		// Quiescent but self-stabilizing: fast-forward to the timeout. Only
+		// the timeout is presented this step — applications whose wake time
+		// falls inside the jump surface at the next step's sync, exactly as
+		// under the scan kernel, which scanned before the jump and forced
+		// the timeout alone.
+		s.clock = s.lastRestart + s.timeoutTicks
+		s.actions.add(s.actions.ordTimeout())
 	}
-	i := s.sched.Next(s, s.actBuf)
-	if i < 0 || i >= len(s.actBuf) {
-		panic(fmt.Sprintf("sim: scheduler picked %d of %d actions", i, len(s.actBuf)))
+	a := s.sched.Next(s, s.actions)
+	if !s.actions.Contains(a) {
+		panic(fmt.Sprintf("sim: scheduler picked disabled action %v", a))
 	}
-	a := s.actBuf[i]
 	s.clock++
 	s.Steps++
 	s.LastAction = a
@@ -368,6 +593,10 @@ func (s *Sim) Step() bool {
 		s.AppActions++
 		s.Apps[a.Proc].Act(handle{s, a.Proc})
 	}
+	// The executed action is the only place application enablement can have
+	// changed without a channel hook or Handle call firing (EnterCS during a
+	// delivery, the app's own Act): re-evaluate just that process.
+	s.pollApp(a.Proc)
 	for _, f := range s.stepHooks {
 		f(s)
 	}
@@ -404,5 +633,44 @@ func (s *Sim) RunUntil(steps int64, pred func() bool) bool {
 // Quiescent reports whether no action is currently enabled (ignoring the
 // controller's ability to fast-forward to a timeout).
 func (s *Sim) Quiescent() bool {
-	return len(s.enabled(s.actBuf[:0])) == 0
+	s.syncActions()
+	return s.actions.Len() == 0
+}
+
+// wakePush inserts w into the min-heap on at.
+func wakePush(h *[]wake, w wake) {
+	*h = append(*h, w)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].at <= (*h)[i].at {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+// wakePop removes and returns the minimum element.
+func wakePop(h *[]wake) wake {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	for i := 0; ; {
+		small, l, r := i, 2*i+1, 2*i+2
+		if l < n && old[l].at < old[small].at {
+			small = l
+		}
+		if r < n && old[r].at < old[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
 }

@@ -319,6 +319,113 @@ func Random(n int, rng *rand.Rand) *Tree {
 	return MustNew(parents)
 }
 
+// Prufer returns a uniformly random labeled tree of n processes, rooted at
+// process 0, decoded from a uniform Prüfer sequence. Unlike Random (uniform
+// over RECURSIVE trees, which biases toward low-id hubs and short depth),
+// Prüfer sampling is uniform over all nⁿ⁻² labeled trees — the standard
+// null model for sweeping the whole tree space.
+func Prufer(n int, rng *rand.Rand) *Tree {
+	if n < 2 {
+		panic("tree: Prufer needs n ≥ 2")
+	}
+	adj := make([][]int, n)
+	addEdge := func(u, v int) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	if n == 2 {
+		addEdge(0, 1)
+	} else {
+		seq := make([]int, n-2)
+		deg := make([]int, n)
+		for i := range deg {
+			deg[i] = 1
+		}
+		for i := range seq {
+			seq[i] = rng.Intn(n)
+			deg[seq[i]]++
+		}
+		// Linear decode: ptr sweeps the labels once; leaf tracks the current
+		// smallest-degree-1 label, dropping below ptr only when a removal
+		// creates a smaller leaf.
+		ptr := 0
+		for deg[ptr] != 1 {
+			ptr++
+		}
+		leaf := ptr
+		for _, v := range seq {
+			addEdge(leaf, v)
+			deg[v]--
+			if deg[v] == 1 && v < ptr {
+				leaf = v
+			} else {
+				ptr++
+				for deg[ptr] != 1 {
+					ptr++
+				}
+				leaf = ptr
+			}
+		}
+		addEdge(leaf, n-1)
+	}
+	// Root the tree at process 0 via BFS.
+	parents := make([]int, n)
+	parents[0] = NoParent
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				parents[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return MustNew(parents)
+}
+
+// Broom returns a path of `handle` processes rooted at one end, with
+// `bristles` leaf children attached to the far end — the classic pathological
+// shape mixing maximum depth with a late fanout burst (tokens crawl the
+// handle, then contend at the brush).
+func Broom(handle, bristles int) *Tree {
+	if handle < 1 || bristles < 0 || handle+bristles < 2 {
+		panic("tree: Broom needs handle ≥ 1 and handle+bristles ≥ 2")
+	}
+	parents := make([]int, 0, handle+bristles)
+	parents = append(parents, NoParent)
+	for p := 1; p < handle; p++ {
+		parents = append(parents, p-1)
+	}
+	for b := 0; b < bristles; b++ {
+		parents = append(parents, handle-1)
+	}
+	return MustNew(parents)
+}
+
+// Spider returns a root with `legs` disjoint paths of `legLen` processes
+// each — maximum branching at the root combined with depth on every branch,
+// the worst case for the virtual ring's root-centric circulation.
+func Spider(legs, legLen int) *Tree {
+	if legs < 1 || legLen < 1 {
+		panic("tree: Spider needs legs ≥ 1 and legLen ≥ 1")
+	}
+	parents := []int{NoParent}
+	for l := 0; l < legs; l++ {
+		prev := 0
+		for d := 0; d < legLen; d++ {
+			id := len(parents)
+			parents = append(parents, prev)
+			prev = id
+		}
+	}
+	return MustNew(parents)
+}
+
 // Paper returns the 8-process tree of Figures 1, 2 and 4 of the paper:
 //
 //	r has children a and d; a has children b and c; d has children e, f, g.

@@ -327,3 +327,109 @@ func TestBalancedPanicsOnBadArgs(t *testing.T) {
 		}()
 	}
 }
+
+func TestBroomShape(t *testing.T) {
+	tr := Broom(4, 3)
+	if tr.N() != 7 {
+		t.Fatalf("N = %d, want 7", tr.N())
+	}
+	// Handle: 0-1-2-3; bristles 4,5,6 hang off process 3.
+	for p := 1; p < 4; p++ {
+		if tr.Parent(p) != p-1 {
+			t.Errorf("handle parent(%d) = %d, want %d", p, tr.Parent(p), p-1)
+		}
+	}
+	for p := 4; p < 7; p++ {
+		if tr.Parent(p) != 3 {
+			t.Errorf("bristle parent(%d) = %d, want 3", p, tr.Parent(p))
+		}
+		if !tr.IsLeaf(p) {
+			t.Errorf("bristle %d is not a leaf", p)
+		}
+	}
+	if tr.Height() != 4 {
+		t.Errorf("Height = %d, want 4", tr.Height())
+	}
+	// Degenerate brooms are still trees.
+	if Broom(1, 1).N() != 2 || Broom(5, 0).N() != 5 {
+		t.Error("degenerate broom sizes wrong")
+	}
+}
+
+func TestSpiderShape(t *testing.T) {
+	tr := Spider(3, 4)
+	if tr.N() != 13 {
+		t.Fatalf("N = %d, want 13", tr.N())
+	}
+	if tr.Degree(0) != 3 {
+		t.Errorf("root degree = %d, want 3", tr.Degree(0))
+	}
+	if tr.Height() != 4 {
+		t.Errorf("Height = %d, want 4", tr.Height())
+	}
+	leaves := 0
+	for p := 0; p < tr.N(); p++ {
+		if tr.IsLeaf(p) {
+			leaves++
+			if tr.Depth(p) != 4 {
+				t.Errorf("leaf %d at depth %d, want 4", p, tr.Depth(p))
+			}
+		}
+	}
+	if leaves != 3 {
+		t.Errorf("%d leaves, want 3", leaves)
+	}
+}
+
+func TestPruferDegreesMatchSequence(t *testing.T) {
+	// Decoding invariant: a label's degree is 1 + its multiplicity in the
+	// Prüfer sequence. Reconstruct the multiplicities from the decoded tree
+	// degrees and cross-check the total: Σdeg = 2(n-1). Run many seeds and
+	// sizes; MustNew inside Prufer already rejects cyclic/disconnected bugs.
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		tr := Prufer(n, rng)
+		if tr.N() != n {
+			t.Fatalf("N = %d, want %d", tr.N(), n)
+		}
+		sum := 0
+		for p := 0; p < n; p++ {
+			sum += tr.Degree(p)
+		}
+		if sum != 2*(n-1) {
+			t.Fatalf("seed %d: Σdeg = %d, want %d", seed, sum, 2*(n-1))
+		}
+	}
+}
+
+func TestPruferCoversAllLabeledTrees(t *testing.T) {
+	// n=4 has 4² = 16 labeled trees; a uniform sampler must hit every one.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		tr := Prufer(4, rng)
+		// Canonical signature: the parent array.
+		sig := ""
+		for p := 1; p < 4; p++ {
+			sig += fmt.Sprintf("%d,", tr.Parent(p))
+		}
+		seen[sig]++
+	}
+	if len(seen) != 16 {
+		t.Errorf("sampled %d distinct labeled trees on 4 vertices, want 16", len(seen))
+	}
+	for sig, count := range seen {
+		if count < 100 { // E[count] = 250; far tails indicate bias
+			t.Errorf("tree %s sampled only %d/4000 times (uniformity suspect)", sig, count)
+		}
+	}
+}
+
+func TestPruferDeterministicInSeed(t *testing.T) {
+	a := Prufer(31, rand.New(rand.NewSource(7)))
+	b := Prufer(31, rand.New(rand.NewSource(7)))
+	if a.String() != b.String() {
+		t.Error("Prufer not deterministic in the RNG seed")
+	}
+}

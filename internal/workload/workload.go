@@ -52,6 +52,7 @@ type Cycle struct {
 	phase     Phase
 	requests  int
 	enteredAt int64
+	holdUntil int64
 	readyAt   int64
 	inCS      bool
 	csOver    bool
@@ -85,6 +86,11 @@ func Fixed(need int, hold, think int64, maxRequests int) *Cycle {
 
 // Uniform returns a Cycle requesting uniformly in [1..maxNeed] units with
 // hold/think times uniform in [0..maxHold]/[0..maxThink], drawn from rng.
+// Each duration is sampled once per request cycle (hold at CS entry, think
+// at release), so the draw sequence is a pure function of the grant history.
+// (Historically the hold duration was re-drawn on every enablement poll,
+// making it scheduler-dependent; seeded Uniform runs therefore do not replay
+// pre-incremental-kernel traces. Fixed workloads are unaffected.)
 func Uniform(maxNeed int, maxHold, maxThink int64, rng *rand.Rand, maxRequests int) *Cycle {
 	return NewCycle(
 		func(int) int { return 1 + rng.Intn(maxNeed) },
@@ -106,7 +112,10 @@ func Uniform(maxNeed int, maxHold, maxThink int64, rng *rand.Rand, maxRequests i
 // Phase returns where the application currently stands.
 func (c *Cycle) CurrentPhase() Phase { return c.phase }
 
-// EnterCS implements core.App: the protocol granted the request.
+// EnterCS implements core.App: the protocol granted the request. The
+// critical-section duration is sampled here, once per grant (not re-sampled
+// on every enablement check), so the kernel can register the release time as
+// a wake-up instead of polling.
 func (c *Cycle) EnterCS() {
 	c.inCS = true
 	c.csOver = false
@@ -116,6 +125,7 @@ func (c *Cycle) EnterCS() {
 		c.enteredAt = c.clock()
 		c.LastEnter = c.enteredAt
 	}
+	c.holdUntil = c.enteredAt + c.HoldFn(c.requests)
 }
 
 // ReleaseCS implements core.App.
@@ -133,9 +143,26 @@ func (c *Cycle) Enabled(now int64) bool {
 		}
 		return now >= c.readyAt
 	case Critical:
-		return now >= c.enteredAt+c.HoldFn(c.requests)
+		return now >= c.holdUntil
 	default:
 		return false
+	}
+}
+
+// WakeAt implements sim.Waker: enablement is a pure deadline per phase
+// (readyAt while idle, holdUntil while critical), so idle generators cost
+// the kernel nothing until their deadline arrives.
+func (c *Cycle) WakeAt(now int64) int64 {
+	switch c.phase {
+	case Idle:
+		if c.MaxRequests < 0 || (c.MaxRequests > 0 && c.requests >= c.MaxRequests) {
+			return sim.NoWake
+		}
+		return c.readyAt
+	case Critical:
+		return c.holdUntil
+	default:
+		return sim.NoWake // Waiting: only the protocol's grant enables us
 	}
 }
 
@@ -175,4 +202,7 @@ func Attach(s *sim.Sim, p int, c *Cycle) *Cycle {
 	return c
 }
 
-var _ sim.App = (*Cycle)(nil)
+var (
+	_ sim.App   = (*Cycle)(nil)
+	_ sim.Waker = (*Cycle)(nil)
+)

@@ -44,6 +44,7 @@ func (a *manualApp) EnterCS() {
 func (a *manualApp) ReleaseCS() bool    { return !a.inCS || a.done }
 func (a *manualApp) Enabled(int64) bool { return false }
 func (a *manualApp) Act(sim.Handle)     {}
+func (a *manualApp) WakeAt(int64) int64 { return sim.NoWake } // event-driven only
 
 // New builds a System over t. Every process starts with a manually driven
 // application (see Request/Release); Saturate replaces it with a generator.
