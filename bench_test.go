@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"kofl"
+	"kofl/internal/checker"
 	"kofl/internal/core"
 	"kofl/internal/experiments"
 	"kofl/internal/message"
@@ -368,11 +369,18 @@ func stepBenchTrees() []struct {
 	return out
 }
 
-// stepThroughput builds a saturated full-protocol simulation on tr under the
-// given kernel, warms it into steady churn, and returns measured steps/sec.
-func stepThroughput(tr *tree.Tree, rescan bool, warm, measure int64) float64 {
+// saturatedThroughput builds the standard saturated full-protocol scenario
+// on tr under the given kernel options — shared by BenchmarkStepThroughput
+// and BenchmarkCensusThroughput so the two recorded benchmarks can never
+// drift onto different workloads — optionally attaches the fused census
+// monitor, warms into steady churn, and returns measured steps/sec.
+func saturatedThroughput(tr *tree.Tree, opts sim.Options, monitored bool, warm, measure int64) float64 {
 	cfg := core.Config{K: 2, L: 8, N: tr.N(), CMAX: 4, Features: core.Full()}
-	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1, FullRescan: rescan})
+	opts.Seed = 1
+	s := sim.MustNew(tr, cfg, opts)
+	if monitored {
+		checker.NewCensusMonitor(s)
+	}
 	for p := 0; p < tr.N(); p++ {
 		workload.Attach(s, p, workload.Fixed(1+p%2, 2, 4, 0))
 	}
@@ -405,8 +413,8 @@ func BenchmarkStepThroughput(b *testing.B) {
 		worst1023 = 0
 		for _, tc := range stepBenchTrees() {
 			warm, measure := int64(20_000), int64(30_000)
-			scan := stepThroughput(tc.tr, true, warm, measure)
-			incr := stepThroughput(tc.tr, false, warm, measure)
+			scan := saturatedThroughput(tc.tr, sim.Options{FullRescan: true}, false, warm, measure)
+			incr := saturatedThroughput(tc.tr, sim.Options{}, false, warm, measure)
 			e := entry{
 				Topology:   tc.family,
 				N:          tc.n,
@@ -439,6 +447,72 @@ func BenchmarkStepThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_step.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCensusThroughput is the tentpole number of the incremental census
+// kernel: monitored steps/sec — a CensusMonitor attached, as in every
+// campaign run — with the snapshot census recomputed each step
+// (Options.ScanCensus, the before side) vs the incrementally maintained
+// census, across path/star/broom/random topologies at n ∈ {63, 255, 1023}.
+// Both modes execute identical action sequences and report identical monitor
+// readings (the census differential tests prove it), so the ratio is pure
+// census-maintenance cost. Results are recorded in BENCH_census.json next to
+// BENCH_step.json; the headline metric is the worst speedup over the n=1023
+// topologies (target ≥ 5×).
+func BenchmarkCensusThroughput(b *testing.B) {
+	type entry struct {
+		Topology   string  `json:"topology"`
+		N          int     `json:"n"`
+		ScanPerSec float64 `json:"scan_monitored_steps_per_sec"`
+		IncrPerSec float64 `json:"incremental_monitored_steps_per_sec"`
+		Speedup    float64 `json:"speedup"`
+	}
+	var entries []entry
+	var worst1023 float64
+	for i := 0; i < b.N; i++ {
+		entries = entries[:0]
+		worst1023 = 0
+		for _, tc := range stepBenchTrees() {
+			if tc.n < 63 {
+				continue // monitor cost is O(n): the small sizes only add noise
+			}
+			warm, measure := int64(20_000), int64(30_000)
+			scan := saturatedThroughput(tc.tr, sim.Options{ScanCensus: true}, true, warm, measure)
+			incr := saturatedThroughput(tc.tr, sim.Options{}, true, warm, measure)
+			e := entry{
+				Topology:   tc.family,
+				N:          tc.n,
+				ScanPerSec: scan,
+				IncrPerSec: incr,
+				Speedup:    incr / scan,
+			}
+			entries = append(entries, e)
+			if tc.n == 1023 && (worst1023 == 0 || e.Speedup < worst1023) {
+				worst1023 = e.Speedup
+			}
+		}
+	}
+	b.ReportMetric(worst1023, "min-speedup-n1023")
+	record := struct {
+		Name            string  `json:"name"`
+		StepsPerMeasure int64   `json:"steps_per_measurement"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		MinSpeedupN1023 float64 `json:"min_speedup_n1023"`
+		Entries         []entry `json:"entries"`
+	}{
+		Name:            "BENCH-census-throughput",
+		StepsPerMeasure: 30_000,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		MinSpeedupN1023: worst1023,
+		Entries:         entries,
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_census.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

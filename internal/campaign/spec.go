@@ -8,6 +8,11 @@
 // a pre-allocated slot addressed by (cell index, run index), then aggregates
 // strictly in grid order. The marshalled Report is therefore byte-identical
 // for any worker count; TestDeterminismAcrossWorkerCounts asserts this.
+//
+// Every run carries a fused checker.CensusMonitor, which reads the sim
+// kernel's incrementally maintained census in O(1) per step — see
+// docs/ARCHITECTURE.md at the repository root for how the two incremental
+// kernels and the determinism contract fit together.
 package campaign
 
 import (

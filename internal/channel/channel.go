@@ -22,7 +22,8 @@ type Channel struct {
 	queue []message.Message
 	head  int
 
-	notify func(nonempty bool)
+	notify    func(nonempty bool)
+	onMessage func(m message.Message, delta int)
 
 	// Stats.
 	Sent      int // messages ever enqueued (excluding initial garbage)
@@ -37,6 +38,16 @@ type Channel struct {
 // set incrementally instead of re-scanning every channel every step. At most
 // one observer is supported; registering replaces the previous one.
 func (c *Channel) OnEmptiness(f func(nonempty bool)) { c.notify = f }
+
+// OnMessage registers f to be called with (m, +1) whenever a message enters
+// the channel (Push, Seed, the kept messages of a Replace) and with (m, -1)
+// whenever one leaves it (Pop, the discarded messages of a Replace). Where
+// OnEmptiness reports the 0↔nonzero transitions the scheduler needs, this
+// hook reports the full content delta, which is what lets the simulator
+// maintain its global token census incrementally instead of snapshotting
+// every channel every step. At most one observer is supported; registering
+// replaces the previous one.
+func (c *Channel) OnMessage(f func(m message.Message, delta int)) { c.onMessage = f }
 
 // notifyTransition fires the emptiness hook when the length moved across
 // zero. wasEmpty is the emptiness before the mutation.
@@ -65,6 +76,9 @@ func (c *Channel) Push(m message.Message) {
 	if d := c.Len(); d > c.MaxDepth {
 		c.MaxDepth = d
 	}
+	if c.onMessage != nil {
+		c.onMessage(m, +1)
+	}
 	c.notifyTransition(wasEmpty)
 }
 
@@ -75,6 +89,9 @@ func (c *Channel) Seed(m message.Message) {
 	c.queue = append(c.queue, m)
 	if d := c.Len(); d > c.MaxDepth {
 		c.MaxDepth = d
+	}
+	if c.onMessage != nil {
+		c.onMessage(m, +1)
 	}
 	c.notifyTransition(wasEmpty)
 }
@@ -88,6 +105,9 @@ func (c *Channel) Pop() message.Message {
 	m := c.queue[c.head]
 	c.head++
 	c.Delivered++
+	if c.onMessage != nil {
+		c.onMessage(m, -1)
+	}
 	// Compact once the consumed prefix dominates, keeping Pop amortized O(1)
 	// without unbounded growth.
 	if c.head > 64 && c.head*2 >= len(c.queue) {
@@ -116,10 +136,20 @@ func (c *Channel) Snapshot() []message.Message {
 
 // Replace overwrites the in-transit contents with msgs (head first). Used by
 // fault injectors to corrupt, drop or duplicate in-flight messages; the
-// emptiness hook keeps the simulator's enabled-action set in sync even for
-// such out-of-band mutations.
+// emptiness hook keeps the simulator's enabled-action set — and the message
+// hook its maintained token census — in sync even for such out-of-band
+// mutations (the discarded contents are reported as (m, -1) deltas, the new
+// contents as (m, +1)).
 func (c *Channel) Replace(msgs []message.Message) {
 	wasEmpty := c.Len() == 0
+	if c.onMessage != nil {
+		for _, m := range c.queue[c.head:] {
+			c.onMessage(m, -1)
+		}
+		for _, m := range msgs {
+			c.onMessage(m, +1)
+		}
+	}
 	c.queue = append(c.queue[:0], msgs...)
 	c.head = 0
 	if d := c.Len(); d > c.MaxDepth {

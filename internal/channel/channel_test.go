@@ -237,3 +237,39 @@ func TestNoHookIsFine(t *testing.T) {
 		t.Error("hookless channel misbehaved")
 	}
 }
+
+// TestOnMessageReportsEveryContentDelta drives every mutator and checks the
+// delta stream reconstructs the channel contents: Push/Seed report (+1),
+// Pop (-1), Replace the removed set then the added set. The running
+// per-kind balance must match what Count reports at every point.
+func TestOnMessageReportsEveryContentDelta(t *testing.T) {
+	c := New(0, 0, 1, 0)
+	balance := map[message.Kind]int{}
+	c.OnMessage(func(m message.Message, delta int) {
+		if delta != 1 && delta != -1 {
+			t.Fatalf("delta %d, want ±1", delta)
+		}
+		balance[m.Kind] += delta
+	})
+	check := func(when string) {
+		t.Helper()
+		for _, k := range []message.Kind{message.Res, message.Push, message.Prio, message.Ctrl} {
+			if balance[k] != c.Count(k) {
+				t.Fatalf("%s: balance[%v]=%d but channel holds %d", when, k, balance[k], c.Count(k))
+			}
+		}
+	}
+	c.Push(message.NewRes())
+	c.Seed(message.NewPush())
+	c.Push(message.NewCtrl(3, true, 1, 0))
+	check("after push/seed")
+	c.Pop()
+	check("after pop")
+	c.Replace([]message.Message{message.NewPrio(), message.NewPrio(), message.NewRes()})
+	check("after replace")
+	c.Replace(nil)
+	check("after replace-to-empty")
+	if total := balance[message.Res] + balance[message.Push] + balance[message.Prio] + balance[message.Ctrl]; total != 0 {
+		t.Errorf("net balance %d after emptying, want 0", total)
+	}
+}

@@ -62,3 +62,47 @@ func TestCensusMonitorMatchesSeparateMonitors(t *testing.T) {
 		}
 	}
 }
+
+// TestCensusMonitorOracleEquivalence runs the same seeded scenario twice —
+// once on the incremental census kernel, once with sim.Options.ScanCensus
+// (the snapshot oracle) — and requires the attached CensusMonitor to report
+// identical convergence points, legit-step counts and violation records.
+// Together with the sim package's per-step census differential tests this
+// proves reworking the monitors onto the maintained census changed nothing
+// observable.
+func TestCensusMonitorOracleEquivalence(t *testing.T) {
+	run := func(scan bool) (*checker.CensusMonitor, *sim.Sim) {
+		tr := tree.Paper()
+		cfg := core.Config{K: 3, L: 5, N: tr.N(), CMAX: 4, Features: core.Full()}
+		s := sim.MustNew(tr, cfg, sim.Options{Seed: 17, ScanCensus: scan})
+		mon := checker.NewCensusMonitor(s)
+		for p := 0; p < tr.N(); p++ {
+			workload.Attach(s, p, workload.Fixed(1+p%3, 2, 4, 0))
+		}
+		s.Run(20_000)
+		faults.ArbitraryConfiguration(s, rand.New(rand.NewSource(5)))
+		s.Run(40_000)
+		return mon, s
+	}
+	incr, si := run(false)
+	scan, ss := run(true)
+	if si.Steps != ss.Steps {
+		t.Fatalf("runs diverged: %d vs %d steps", si.Steps, ss.Steps)
+	}
+	ia, iok := incr.ConvergedAt()
+	sa, sok := scan.ConvergedAt()
+	if ia != sa || iok != sok {
+		t.Errorf("ConvergedAt: incremental (%d,%v) vs scan oracle (%d,%v)", ia, iok, sa, sok)
+	}
+	if incr.LegitSteps != scan.LegitSteps {
+		t.Errorf("LegitSteps: incremental %d vs scan oracle %d", incr.LegitSteps, scan.LegitSteps)
+	}
+	if len(incr.Violations) != len(scan.Violations) {
+		t.Fatalf("violations: incremental %d vs scan oracle %d", len(incr.Violations), len(scan.Violations))
+	}
+	for i := range incr.Violations {
+		if incr.Violations[i] != scan.Violations[i] {
+			t.Errorf("violation %d: incremental %+v vs scan oracle %+v", i, incr.Violations[i], scan.Violations[i])
+		}
+	}
+}

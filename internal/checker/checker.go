@@ -86,9 +86,13 @@ func (m *Safety) onStep(s *sim.Sim) {
 	if c.UnitsInUse > m.cfg.L {
 		m.record(s.Now(), fmt.Sprintf("%d units in use > ℓ=%d", c.UnitsInUse, m.cfg.L))
 	}
-	for p, n := range s.Nodes {
-		if n.State() == core.In && n.Reserved() > m.cfg.K {
-			m.record(s.Now(), fmt.Sprintf("process %d uses %d units > k=%d", p, n.Reserved(), m.cfg.K))
+	if c.OverK > 0 {
+		// The maintained OverK violation counter says some process is over
+		// its k cap; only then pay the node scan to name the offenders.
+		for p, n := range s.Nodes {
+			if n.State() == core.In && n.Reserved() > m.cfg.K {
+				m.record(s.Now(), fmt.Sprintf("process %d uses %d units > k=%d", p, n.Reserved(), m.cfg.K))
+			}
 		}
 	}
 }

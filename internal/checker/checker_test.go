@@ -77,8 +77,8 @@ func TestSafetyFlagsOverCommitment(t *testing.T) {
 	// their applications are mid-critical-section (never release).
 	s.AttachApp(1, stuckApp{})
 	s.AttachApp(2, stuckApp{})
-	s.Nodes[1].Restore(core.Snapshot{State: core.In, Need: 2, RSet: []int{0, 0}, Prio: core.NoPrio})
-	s.Nodes[2].Restore(core.Snapshot{State: core.In, Need: 2, RSet: []int{0, 0}, Prio: core.NoPrio})
+	s.RestoreNode(1, core.Snapshot{State: core.In, Need: 2, RSet: []int{0, 0}, Prio: core.NoPrio})
+	s.RestoreNode(2, core.Snapshot{State: core.In, Need: 2, RSet: []int{0, 0}, Prio: core.NoPrio})
 	s.Seed(0, 0, message.NewRes())
 	s.Run(1)
 	if len(saf.Violations) == 0 {

@@ -7,12 +7,14 @@
 // scenarios are reproducible from a seed.
 //
 // Resync rule: the simulator schedules from an incrementally maintained
-// enabled-action set, so injectors must mutate channel contents only through
-// the channel API (Seed/Replace/Push/Pop) — whose emptiness hooks keep that
-// set in sync automatically — or call sim.Sim.ResyncActions afterwards.
-// Every injector in this package uses the channel API exclusively; state
-// corruption (core.Node.Restore) cannot change action enablement and needs
-// no resync.
+// enabled-action set and keeps an incrementally maintained token census, so
+// injectors must mutate channel contents only through the channel API
+// (Seed/Replace/Push/Pop) — whose emptiness and message hooks keep both in
+// sync automatically — and process state only through sim.Sim.RestoreNode,
+// which folds the state delta into the census; anything else must be
+// followed by sim.Sim.ResyncActions. Every injector in this package uses
+// those two surfaces exclusively. State corruption cannot change action
+// enablement, so RestoreNode needs no action-set resync.
 package faults
 
 import (
@@ -82,7 +84,7 @@ func CorruptStates(s *sim.Sim, rng *rand.Rand, procs []int) {
 		}
 	}
 	for _, p := range procs {
-		s.Nodes[p].Restore(RandomSnapshot(s.Cfg, s.Tree.Degree(p), rng))
+		s.RestoreNode(p, RandomSnapshot(s.Cfg, s.Tree.Degree(p), rng))
 	}
 }
 

@@ -187,3 +187,47 @@ func TestFaultsAreDeterministic(t *testing.T) {
 		t.Error("same fault seed produced different configurations")
 	}
 }
+
+// TestCensusMaintainedUnderEveryFaultKind injects every injector this
+// package exports into a mid-flight run and asserts, after each injection,
+// that the simulator's incrementally maintained census still equals the
+// snapshot oracle — both immediately (the channel-API and RestoreNode
+// surfaces need no resync) and after an explicit ResyncActions (which must
+// be a no-op on an already-synced census). It then runs on and re-checks, so
+// a delta the injection corrupted cannot hide behind a later rebuild.
+func TestCensusMaintainedUnderEveryFaultKind(t *testing.T) {
+	kinds := []struct {
+		name   string
+		inject func(s *sim.Sim, rng *rand.Rand)
+	}{
+		{"garbage", func(s *sim.Sim, rng *rand.Rand) { faults.GarbageChannels(s, rng, 3) }},
+		{"force-garbage", func(s *sim.Sim, rng *rand.Rand) { faults.ForceGarbageChannels(s, rng, 6) }},
+		{"corrupt-states", func(s *sim.Sim, rng *rand.Rand) { faults.CorruptStates(s, rng, nil) }},
+		{"arbitrary", func(s *sim.Sim, rng *rand.Rand) { faults.ArbitraryConfiguration(s, rng) }},
+		{"drop-res", func(s *sim.Sim, rng *rand.Rand) { faults.DropTokens(s, rng, message.Res, 2) }},
+		{"drop-ctrl", func(s *sim.Sim, rng *rand.Rand) { faults.DropTokens(s, rng, message.Ctrl, 1) }},
+		{"dup-res", func(s *sim.Sim, rng *rand.Rand) { faults.DuplicateTokens(s, rng, message.Res, 2) }},
+		{"dup-prio", func(s *sim.Sim, rng *rand.Rand) { faults.DuplicateTokens(s, rng, message.Prio, 1) }},
+		{"inject-push", func(s *sim.Sim, rng *rand.Rand) { faults.InjectTokens(s, rng, message.Push, 2) }},
+		{"inject-prio", func(s *sim.Sim, rng *rand.Rand) { faults.InjectTokens(s, rng, message.Prio, 1) }},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			s := newSim(t, 4)
+			rng := rand.New(rand.NewSource(31))
+			s.Run(2_000) // mid-flight: tokens circulating, controller active
+			k.inject(s, rng)
+			if got, want := s.Census(), s.CensusScan(); got != want {
+				t.Fatalf("census stale right after injection: maintained %+v, scan %+v", got, want)
+			}
+			s.ResyncActions()
+			if got, want := s.Census(), s.CensusScan(); got != want {
+				t.Fatalf("census wrong after resync: maintained %+v, scan %+v", got, want)
+			}
+			s.Run(1_000)
+			if got, want := s.Census(), s.CensusScan(); got != want {
+				t.Fatalf("census drifted after post-fault run: maintained %+v, scan %+v", got, want)
+			}
+		})
+	}
+}

@@ -16,9 +16,9 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(Encode(nil, NewPrio()))
 	f.Add(Encode(nil, NewCtrl(0, false, 0, 0)))
 	f.Add(Encode(nil, NewCtrl(123456, true, 6, 2)))
-	f.Add([]byte{})                          // short frame
-	f.Add([]byte{1, 2, 3})                   // short frame
-	f.Add(make([]byte, FrameSize))           // kind 0 (invalid), checksum ok
+	f.Add([]byte{})                // short frame
+	f.Add([]byte{1, 2, 3})         // short frame
+	f.Add(make([]byte, FrameSize)) // kind 0 (invalid), checksum ok
 	f.Add(bytes.Repeat([]byte{0xff}, FrameSize))
 	bad := Encode(nil, NewCtrl(7, true, 1, 1))
 	bad[10] ^= 0x55 // checksum mismatch

@@ -18,6 +18,7 @@ type Census struct {
 	ResetCtrl            int // ctrl messages in transit with R set
 	InCS                 int // processes with State = In
 	UnitsInUse           int // Σ |RSet| over processes with State = In
+	OverK                int // processes with State = In and |RSet| > k
 }
 
 // Res returns the total resource-token population.
@@ -32,8 +33,24 @@ func (c Census) String() string {
 		c.Res(), c.FreeRes, c.FreePush, c.Prio(), c.HeldPrio, c.Ctrl, c.InCS, c.UnitsInUse)
 }
 
-// Census computes the current global token census.
+// Census returns the current global token census. By default it is the
+// incrementally maintained census — O(1), updated by deltas at every channel
+// mutation and node transition — so monitors can read it every step for
+// free. With Options.ScanCensus it recomputes the census from a full
+// snapshot scan on every call: the differential-testing oracle, exactly like
+// Options.FullRescan for the enabled-action set.
 func (s *Sim) Census() Census {
+	if s.scanCensus {
+		return s.CensusScan()
+	}
+	return s.census
+}
+
+// CensusScan computes the census from scratch by walking every channel and
+// every process: the historical snapshot implementation, kept as the oracle
+// the differential and fuzz tests compare the maintained census against, and
+// as the rebuild primitive behind ResyncCensus.
+func (s *Sim) CensusScan() Census {
 	var c Census
 	for p := range s.out {
 		for _, ch := range s.out[p] {
@@ -62,9 +79,103 @@ func (s *Sim) Census() Census {
 		if n.State() == core.In {
 			c.InCS++
 			c.UnitsInUse += n.Reserved()
+			if n.Reserved() > s.Cfg.K {
+				c.OverK++
+			}
 		}
 	}
 	return c
+}
+
+// censusMsg applies one channel content delta to the maintained census:
+// delta = +1 when m entered a channel, -1 when it left. Kinds outside the
+// protocol's four (initial channel garbage can hold arbitrary bytes) are not
+// token-bearing and are ignored, exactly as the snapshot scan ignores them.
+func (s *Sim) censusMsg(m message.Message, delta int) {
+	switch m.Kind {
+	case message.Res:
+		s.census.FreeRes += delta
+	case message.Push:
+		s.census.FreePush += delta
+	case message.Prio:
+		s.census.FreePrio += delta
+	case message.Ctrl:
+		s.census.Ctrl += delta
+		if m.R {
+			s.census.ResetCtrl += delta
+		}
+	}
+}
+
+// trackNode runs fn — which may mutate node p's protocol state — and folds
+// the resulting state delta into the maintained census. Every kernel entry
+// point into a core.Node (message handling, timeout, Handle calls,
+// RestoreNode) is routed through here; messages the node sends while
+// handling are accounted separately by the channel OnMessage hooks.
+//
+// Reentrant calls for the SAME node (an application's EnterCS callback
+// polling its own Handle mid-delivery) are not double-counted: the outermost
+// frame observes the full before/after delta. A nested call for a DIFFERENT
+// node (user callbacks may drive another process's Handle) opens its own
+// frame, which is sound because census deltas of distinct nodes are
+// independent and additive.
+func (s *Sim) trackNode(p int, fn func()) {
+	if s.scanCensus || s.tracked[p] {
+		fn()
+		return
+	}
+	s.tracked[p] = true
+	n := s.Nodes[p]
+	resB, prioB := n.Reserved(), n.HoldsPrio()
+	inB := n.State() == core.In
+	fn()
+	resA, prioA := n.Reserved(), n.HoldsPrio()
+	inA := n.State() == core.In
+	s.tracked[p] = false
+
+	s.census.ReservedRes += resA - resB
+	if prioA != prioB {
+		if prioA {
+			s.census.HeldPrio++
+		} else {
+			s.census.HeldPrio--
+		}
+	}
+	if inB {
+		s.census.InCS--
+		s.census.UnitsInUse -= resB
+		if resB > s.Cfg.K {
+			s.census.OverK--
+		}
+	}
+	if inA {
+		s.census.InCS++
+		s.census.UnitsInUse += resA
+		if resA > s.Cfg.K {
+			s.census.OverK++
+		}
+	}
+}
+
+// ResyncCensus rebuilds the maintained census from a full snapshot scan.
+// Mutations through the channel API and node transitions driven through the
+// kernel (Step, Handles, RestoreNode) keep the census in sync automatically;
+// call this after any OTHER out-of-band state change — the census side of
+// the fault-injection resync rule. ResyncActions calls it, so code following
+// the action-set resync rule is covered without further ceremony.
+func (s *Sim) ResyncCensus() {
+	if !s.scanCensus {
+		s.census = s.CensusScan()
+	}
+}
+
+// RestoreNode overwrites process p's protocol state with snap (clamped into
+// variable domains, see core.Node.Restore) while keeping the maintained
+// census in sync — the supported way for fault injectors to corrupt process
+// state. State corruption cannot change action enablement, so no action-set
+// resync is needed.
+func (s *Sim) RestoreNode(p int, snap core.Snapshot) {
+	s.trackNode(p, func() { s.Nodes[p].Restore(snap) })
 }
 
 // LegitimateFor reports whether this census matches the legitimate token

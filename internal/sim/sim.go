@@ -29,13 +29,28 @@
 // every-step oracle; the differential tests run both kernels side by side
 // and assert identical action sequences.
 //
+// # Incremental census kernel
+//
+// The global token census (Census) is likewise maintained incrementally:
+// channels report every content change through an OnMessage delta hook, and
+// every kernel entry point into a node (delivery, timeout, Handle calls,
+// RestoreNode) folds the node-state delta into the persistent census — so
+// reading the census each step is O(1) instead of O(n + channels). Monitors
+// in internal/checker consume the maintained value. Options.ScanCensus
+// selects the legacy recompute-on-read snapshot as the differential oracle,
+// exactly as Options.FullRescan does for scheduling.
+//
 // # Fault-injection resync rule
 //
-// Out-of-band mutations must keep the ActionSet in sync. Mutating channel
-// contents through the channel API (Push/Pop/Seed/Replace) is always safe —
-// the emptiness hooks fire. Any other out-of-band change that could affect
-// enablement must be followed by a call to Sim.ResyncActions, which rebuilds
-// the set from a full scan.
+// Out-of-band mutations must keep the ActionSet and the census in sync.
+// Mutating channel contents through the channel API (Push/Pop/Seed/Replace)
+// is always safe — the emptiness and message hooks fire. Corrupting process
+// state through Sim.RestoreNode is likewise tracked. Any other out-of-band
+// change must be followed by a call to Sim.ResyncActions (which also resyncs
+// the census) or Sim.ResyncCensus, both of which rebuild from a full scan.
+//
+// See docs/ARCHITECTURE.md at the repository root for how the two kernels,
+// the determinism contract and the differential oracles fit together.
 package sim
 
 import (
@@ -149,6 +164,12 @@ type Options struct {
 	// testing oracle and the before-side of the step-throughput benchmark;
 	// the incremental kernel is bit-for-bit equivalent and strictly faster.
 	FullRescan bool
+	// ScanCensus selects the legacy O(n + channels) census that Census()
+	// recomputes from a full snapshot on every call, instead of the
+	// incrementally maintained one. Like FullRescan it exists as the
+	// differential-testing oracle and the before-side of the census-
+	// throughput benchmark; the maintained census is value-identical.
+	ScanCensus bool
 }
 
 // DefaultTimeoutTicks returns the default retransmission timeout for a tree
@@ -190,6 +211,11 @@ type Sim struct {
 	polledWords []uint64 // bitmap of legacy (non-Waker) apps polled per step
 	nPolled     int
 	rescan      bool // Options.FullRescan
+
+	// The incremental census kernel (see census.go).
+	census     Census
+	scanCensus bool   // Options.ScanCensus
+	tracked    []bool // trackNode reentrancy guard, one flag per process
 
 	// Counters.
 	Steps      int64
@@ -233,6 +259,8 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 		wakeAt:       make([]int64, t.N()),
 		polledWords:  make([]uint64, (t.N()+63)/64),
 		rescan:       opts.FullRescan,
+		scanCensus:   opts.ScanCensus,
+		tracked:      make([]bool, t.N()),
 	}
 	for p := range s.wakeAt {
 		s.wakeAt[p] = NoWake
@@ -262,6 +290,9 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 				c.OnEmptiness(func(nonempty bool) {
 					s.actions.set(ord, nonempty)
 				})
+			}
+			if !s.scanCensus {
+				c.OnMessage(s.censusMsg)
 			}
 		}
 	}
@@ -348,12 +379,17 @@ type handle struct {
 func (h handle) ID() int    { return h.p }
 func (h handle) Now() int64 { return h.s.clock }
 func (h handle) Request(need int) error {
-	err := h.s.Nodes[h.p].Request(h.s.envs[h.p], need)
+	var err error
+	h.s.trackNode(h.p, func() {
+		err = h.s.Nodes[h.p].Request(h.s.envs[h.p], need)
+	})
 	h.s.pollApp(h.p)
 	return err
 }
 func (h handle) Poll() {
-	h.s.Nodes[h.p].Poll(h.s.envs[h.p])
+	h.s.trackNode(h.p, func() {
+		h.s.Nodes[h.p].Poll(h.s.envs[h.p])
+	})
 	h.s.pollApp(h.p)
 }
 
@@ -524,11 +560,13 @@ func (s *Sim) rebuildFromScan() {
 	}
 }
 
-// ResyncActions rebuilds the enabled-action set from a full scan. Channel
-// mutations through the channel API and application events through Handles
-// keep the set in sync automatically; call this after any OTHER out-of-band
-// change that could affect enablement (the fault-injection resync rule).
+// ResyncActions rebuilds the enabled-action set — and the maintained census
+// — from a full scan. Channel mutations through the channel API and
+// application events through Handles keep both in sync automatically; call
+// this after any OTHER out-of-band change that could affect enablement (the
+// fault-injection resync rule).
 func (s *Sim) ResyncActions() {
+	s.ResyncCensus()
 	if s.rescan {
 		s.rebuildFromScan()
 		return
@@ -580,15 +618,19 @@ func (s *Sim) Step() bool {
 	s.LastMsg = message.Message{}
 	switch a.Kind {
 	case ActDeliver:
-		m := s.in[a.Proc][a.Ch].Pop()
-		if m.Kind.Valid() {
-			s.Delivered[m.Kind]++
-		}
-		s.LastMsg = m
-		s.Nodes[a.Proc].HandleMessage(a.Ch, m, s.envs[a.Proc])
+		s.trackNode(a.Proc, func() {
+			m := s.in[a.Proc][a.Ch].Pop()
+			if m.Kind.Valid() {
+				s.Delivered[m.Kind]++
+			}
+			s.LastMsg = m
+			s.Nodes[a.Proc].HandleMessage(a.Ch, m, s.envs[a.Proc])
+		})
 	case ActTimeout:
 		s.Timeouts++
-		s.Nodes[a.Proc].HandleTimeout(s.envs[a.Proc])
+		s.trackNode(a.Proc, func() {
+			s.Nodes[a.Proc].HandleTimeout(s.envs[a.Proc])
+		})
 	case ActApp:
 		s.AppActions++
 		s.Apps[a.Proc].Act(handle{s, a.Proc})

@@ -147,7 +147,7 @@ func TestCycleSurvivesCorruptedNodeState(t *testing.T) {
 	// serving it.
 	s := newSim(t, 7)
 	c := workload.Attach(s, 1, workload.Fixed(1, 2, 2, 0))
-	s.Nodes[1].Restore(core.Snapshot{State: core.Req, Need: 2, Prio: core.NoPrio})
+	s.RestoreNode(1, core.Snapshot{State: core.Req, Need: 2, Prio: core.NoPrio})
 	g := checker.NewGrants(s)
 	s.Run(300_000)
 	if g.Enters[1] == 0 {
@@ -164,7 +164,7 @@ func TestCycleCompletesEvenIfEnteredSpontaneously(t *testing.T) {
 	// cycling afterwards.
 	s := newSim(t, 8)
 	c := workload.Attach(s, 2, workload.Fixed(1, 1, 1, 0))
-	s.Nodes[2].Restore(core.Snapshot{State: core.In, Need: 1, RSet: []int{0}, Prio: core.NoPrio})
+	s.RestoreNode(2, core.Snapshot{State: core.In, Need: 1, RSet: []int{0}, Prio: core.NoPrio})
 	s.Run(200_000)
 	if c.Grants == 0 {
 		t.Error("cycle stuck after spontaneous In state")

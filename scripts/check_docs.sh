@@ -1,0 +1,39 @@
+#!/bin/sh
+# check_docs.sh — fail CI if the documentation surface drifts out of sync
+# with the code it describes. Cheap greps, not a doc generator: the goal is
+# that README.md can never silently omit a CLI or point at a file that moved.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+[ -f README.md ] || { echo "check_docs: README.md missing" >&2; exit 1; }
+[ -f docs/ARCHITECTURE.md ] || err "docs/ARCHITECTURE.md missing"
+
+# Every command under cmd/ must be mentioned in the README's CLI section,
+# and the README must not advertise commands that no longer exist.
+for d in cmd/*/; do
+    name=$(basename "$d")
+    grep -q "$name" README.md || err "README.md does not mention cmd/$name"
+done
+for name in $(grep -o 'cmd/[a-z]*' README.md | sort -u | sed 's|cmd/||'); do
+    [ -d "cmd/$name" ] || err "README.md mentions cmd/$name which does not exist"
+done
+
+# Files the README links to must exist.
+for f in $(grep -o '](\([A-Za-z0-9_/.-]*\.md\))' README.md | sed 's/](\(.*\))/\1/'); do
+    [ -f "$f" ] || err "README.md links to $f which does not exist"
+done
+
+# The recorded-benchmark artifacts the README and CI reference must be real
+# benchmark functions.
+grep -q 'func BenchmarkStepThroughput' bench_test.go || err "BenchmarkStepThroughput gone but documented"
+grep -q 'func BenchmarkCensusThroughput' bench_test.go || err "BenchmarkCensusThroughput gone but documented"
+
+# ARCHITECTURE.md documents the two oracle options; they must still exist.
+grep -q 'FullRescan' internal/sim/sim.go || err "sim.Options.FullRescan gone but documented"
+grep -q 'ScanCensus' internal/sim/sim.go || err "sim.Options.ScanCensus gone but documented"
+
+[ "$fail" -eq 0 ] && echo "check_docs: OK"
+exit "$fail"
