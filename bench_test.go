@@ -546,3 +546,64 @@ func BenchmarkLargeTree(b *testing.B) {
 		sys.Step()
 	}
 }
+
+// BenchmarkWaitingMonitor measures the per-event cost of the waiting-time and
+// grants monitors on an event-heavy run (every process cycling through
+// request/enter/exit as fast as the protocol allows). The "flat" case is the
+// shipping slice-based checker.Waiting; "legacyMap" replays the historical
+// map-based implementation inline, so the allocs/op column shows the delta
+// the flattening bought (the flat monitor allocates only on the amortized
+// samples-slice growth; the map version churned buckets on every
+// request/grant pair).
+func BenchmarkWaitingMonitor(b *testing.B) {
+	const steps = 200_000
+	run := func(b *testing.B, attach func(s *sim.Sim)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := tree.Star(16)
+			cfg := core.Config{K: 2, L: 4, N: tr.N(), CMAX: 4, Features: core.Full()}
+			s := sim.MustNew(tr, cfg, sim.Options{Seed: 11})
+			attach(s)
+			for p := 0; p < tr.N(); p++ {
+				workload.Attach(s, p, workload.Fixed(1+p%2, 0, 0, 0))
+			}
+			s.Run(steps)
+		}
+		b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("flat", func(b *testing.B) {
+		run(b, func(s *sim.Sim) {
+			checker.NewWaiting(s)
+			checker.NewGrants(s)
+		})
+	})
+	b.Run("legacyMap", func(b *testing.B) {
+		run(b, func(s *sim.Sim) {
+			// The pre-flattening Waiting: map-keyed pending/per-proc state.
+			pendingAt := map[int]int64{}
+			perProc := map[int]int64{}
+			var samples []int64
+			var totalEnters, max int64
+			checker.NewGrants(s)
+			s.AddObserver(func(e core.Event) {
+				switch e.Kind {
+				case core.EvRequest:
+					pendingAt[e.P] = totalEnters
+				case core.EvEnterCS:
+					if at, ok := pendingAt[e.P]; ok {
+						wait := totalEnters - at
+						samples = append(samples, wait)
+						if wait > max {
+							max = wait
+						}
+						if wait > perProc[e.P] {
+							perProc[e.P] = wait
+						}
+						delete(pendingAt, e.P)
+					}
+					totalEnters++
+				}
+			})
+		})
+	})
+}

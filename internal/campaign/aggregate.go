@@ -41,14 +41,22 @@ type CellResult struct {
 }
 
 // Report is the order-independent campaign outcome: the normalized spec and
-// one CellResult per grid cell, in grid order.
+// one CellResult per plan cell, in plan order. Round, Fingerprint and
+// Parent tie the report to the Plan that produced it — Merge stamps them so
+// escalation rounds and shard provenance are checkable after the fact.
 type Report struct {
-	Name      string       `json:"name"`
-	Spec      Spec         `json:"spec"`
-	Cells     int          `json:"cells"`
-	RunsPer   int          `json:"runs_per_cell"`
-	TotalRuns int          `json:"total_runs"`
-	Results   []CellResult `json:"results"`
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
+	// Round is 0 for the base grid, ≥ 1 for escalation rounds.
+	Round int `json:"round,omitempty"`
+	// Fingerprint is the producing plan's fingerprint; Parent is the
+	// previous round's (escalation rounds only).
+	Fingerprint string       `json:"plan_fingerprint"`
+	Parent      string       `json:"parent_fingerprint,omitempty"`
+	Cells       int          `json:"cells"`
+	RunsPer     int          `json:"runs_per_cell"`
+	TotalRuns   int          `json:"total_runs"`
+	Results     []CellResult `json:"results"`
 }
 
 // waitingBound is Theorem 2's ℓ(2n-3)² (kept local to avoid importing the
@@ -68,14 +76,18 @@ func round6(f float64) float64 { return math.Round(f*1e6) / 1e6 }
 // aggregate merges per-run results — already ordered by (cell, seed) — into
 // the Report. It runs single-threaded after the pool drains; every float
 // accumulation therefore has a fixed order and the output is reproducible.
-func aggregate(spec Spec, cells []Cell, results [][]RunResult) *Report {
+func aggregate(plan *Plan, results [][]RunResult) *Report {
+	cells := plan.Cells
 	rep := &Report{
-		Name:      spec.Name,
-		Spec:      spec,
-		Cells:     len(cells),
-		RunsPer:   spec.Seeds.Count,
-		TotalRuns: len(cells) * spec.Seeds.Count,
-		Results:   make([]CellResult, 0, len(cells)),
+		Name:        plan.Name,
+		Spec:        plan.Spec,
+		Round:       plan.Round,
+		Fingerprint: plan.Fingerprint,
+		Parent:      plan.Parent,
+		Cells:       len(cells),
+		RunsPer:     plan.Seeds.Count,
+		TotalRuns:   len(cells) * plan.Seeds.Count,
+		Results:     make([]CellResult, 0, len(cells)),
 	}
 	for i, c := range cells {
 		tr, err := c.Topology.Build()

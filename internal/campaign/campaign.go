@@ -1,197 +1,14 @@
 package campaign
 
-import (
-	"fmt"
-	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
-	"kofl/internal/checker"
-	"kofl/internal/core"
-	"kofl/internal/faults"
-	"kofl/internal/message"
-	"kofl/internal/sim"
-	"kofl/internal/workload"
-)
-
-// Options configures an engine invocation. Workers ≤ 0 selects one worker
-// per logical CPU. Progress, when non-nil, is called after every completed
-// run with (done, total); it may be called concurrently from workers.
-type Options struct {
-	Workers  int
-	Progress func(done, total int)
-}
-
-// features maps a variant name to the protocol feature set.
-func features(v string) (core.Features, error) {
-	switch v {
-	case "full", "":
-		return core.Full(), nil
-	case "naive":
-		return core.Naive(), nil
-	case "pusher":
-		return core.PusherOnly(), nil
-	case "nonstab", "non-stabilizing":
-		return core.NonStabilizing(), nil
-	default:
-		return core.Features{}, fmt.Errorf("campaign: unknown variant %q (full|naive|pusher|nonstab)", v)
-	}
-}
-
-// Run executes the campaign: every (cell, seed) pair once, fanned out over
-// the worker pool, merged into a Report whose bytes do not depend on the
-// worker count (see the package comment's determinism contract).
+// Run executes a campaign end to end in one process: plan the spec, execute
+// the single all-slots shard across the worker pool, and merge it into the
+// aggregate Report. It is exactly Merge(plan, shards) for any sharding of
+// the same plan — TestShardMergeMatrix proves the byte identity — and does
+// not perform escalation rounds (see RunEscalated).
 func Run(spec Spec, opts Options) (*Report, error) {
-	spec = spec.normalized()
-	cells, err := spec.Cells()
+	plan, err := NewPlan(spec)
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	runs := spec.Seeds.Count
-	total := len(cells) * runs
-
-	// One pre-allocated slot per run: workers never contend on a slot, and
-	// the merge below reads them in grid order regardless of completion
-	// order.
-	results := make([][]RunResult, len(cells))
-	for i := range results {
-		results[i] = make([]RunResult, runs)
-	}
-
-	type job struct{ cell, run int }
-	jobs := make(chan job)
-	var done atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				seed := spec.Seeds.First + int64(j.run)
-				results[j.cell][j.run] = runOne(spec, cells[j.cell], seed)
-				if opts.Progress != nil {
-					opts.Progress(int(done.Add(1)), total)
-				}
-			}
-		}()
-	}
-	for c := range cells {
-		for r := 0; r < runs; r++ {
-			jobs <- job{cell: c, run: r}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	return aggregate(spec, cells, results), nil
-}
-
-// RunResult is the outcome of one (cell, seed) simulation.
-type RunResult struct {
-	Seed          int64   `json:"seed"`
-	Steps         int64   `json:"steps"`
-	Grants        int64   `json:"grants"`
-	Jain          float64 `json:"jain"`
-	MaxWaiting    int64   `json:"max_waiting"`
-	Circulations  int64   `json:"circulations"`
-	Resets        int64   `json:"resets"`
-	Timeouts      int64   `json:"timeouts"`
-	Converged     bool    `json:"converged"`
-	ConvergedAt   int64   `json:"converged_at"`
-	SafetyAfter   int     `json:"safety_after_convergence"`
-	LegitSteps    int64   `json:"legit_steps"`
-	DeliveredRes  int64   `json:"delivered_res"`
-	DeliveredCtrl int64   `json:"delivered_ctrl"`
-	Storms        int64   `json:"storms,omitempty"`
-}
-
-// runOne executes one simulation: a pure function of (spec, cell, seed).
-func runOne(spec Spec, c Cell, seed int64) RunResult {
-	tr, err := c.Topology.Build()
-	if err != nil {
-		panic(err) // cells are validated during expansion
-	}
-	feat, err := features(c.Variant)
-	if err != nil {
-		panic(err)
-	}
-	cfg := core.Config{K: c.K, L: c.L, N: tr.N(), CMAX: c.CMAX, Features: feat}
-	s := sim.MustNew(tr, cfg, sim.Options{Seed: seed, TimeoutTicks: c.TimeoutTicks})
-	// Establish the true initial configuration (token seeding for
-	// non-controller variants, arbitrary-start faults) BEFORE attaching the
-	// census monitor: its construction-time observation must account the
-	// configuration the run actually starts from.
-	if !cfg.Features.Controller {
-		s.SeedLegitimate()
-	}
-	if spec.Faults.ArbitraryStart {
-		faults.ArbitraryConfiguration(s, rand.New(rand.NewSource(seed+1000)))
-	}
-	// One fused census monitor instead of separate legitimacy/safety/
-	// availability hooks: a single O(n) census per step, not three.
-	mon := checker.NewCensusMonitor(s)
-	wait := checker.NewWaiting(s)
-	gr := checker.NewGrants(s)
-	circ := checker.NewCirculations(s)
-	for p := 0; p < tr.N(); p++ {
-		need := spec.Workload.Need
-		if need <= 0 {
-			need = 1 + p%c.K
-		}
-		workload.Attach(s, p, workload.Fixed(need, spec.Workload.Hold, spec.Workload.Think, 0))
-	}
-
-	var storms int64
-	if c.StormPeriod > 0 {
-		rng := rand.New(rand.NewSource(seed + c.StormPeriod))
-		next := c.StormPeriod
-		for s.Steps < spec.Steps {
-			if s.Steps >= next {
-				storms++
-				next += c.StormPeriod
-				switch storms % 4 {
-				case 0:
-					faults.DropTokens(s, rng, message.Res, 1+rng.Intn(3))
-				case 1:
-					faults.DuplicateTokens(s, rng, message.Res, 1+rng.Intn(3))
-				case 2:
-					faults.CorruptStates(s, rng, []int{rng.Intn(tr.N()), rng.Intn(tr.N())})
-				case 3:
-					faults.GarbageChannels(s, rng, 3)
-				}
-			}
-			if !s.Step() {
-				break
-			}
-		}
-	} else {
-		s.Run(spec.Steps)
-	}
-
-	at, ok := mon.ConvergedAt()
-	rr := RunResult{
-		Seed:          seed,
-		Steps:         s.Steps,
-		Grants:        gr.Total(),
-		Jain:          round6(jain(gr.Enters)),
-		MaxWaiting:    wait.Max(),
-		Circulations:  circ.Completed,
-		Resets:        circ.Resets,
-		Timeouts:      circ.Timeouts,
-		Converged:     ok,
-		ConvergedAt:   at,
-		LegitSteps:    mon.LegitSteps,
-		DeliveredRes:  s.Delivered[message.Res],
-		DeliveredCtrl: s.Delivered[message.Ctrl],
-		Storms:        storms,
-	}
-	if ok {
-		rr.SafetyAfter = mon.ViolationsAfter(at)
-	}
-	return rr
+	return runPlan(plan, opts)
 }

@@ -21,20 +21,33 @@ func (r *Report) JSON() ([]byte, error) {
 }
 
 // WriteCSV emits one row per cell with the aggregate columns (per-run
-// results are JSON-only).
+// results are JSON-only). Escalation-round reports use AppendCSV to add
+// their rows under the same header; the round column tells them apart.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"cell", "topology", "n", "k", "l", "cmax", "variant", "timeout", "storm_period",
-		"runs", "total_grants", "mean_grants", "diverged", "mean_convergence",
+		"round", "cell", "topology", "n", "k", "l", "cmax", "variant", "timeout", "storm_period",
+		"runs", "total_grants", "mean_grants", "diverged", "mean_convergence", "convergence_cv",
 		"max_waiting", "waiting_bound", "availability", "mean_jain",
 		"res_per_grant", "ctrl_per_grant", "resets", "timeouts", "safety_violations",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return r.AppendCSV(w)
+}
+
+// AppendCSV emits the report's cell rows without a header — for appending
+// escalation rounds under a base report's CSV.
+func (r *Report) AppendCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
 	for _, cr := range r.Results {
 		row := []string{
+			strconv.Itoa(r.Round),
 			strconv.Itoa(cr.Cell.Index),
 			cr.Cell.Topology.Label(),
 			strconv.Itoa(cr.N),
@@ -49,6 +62,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.2f", cr.Grants.Mean),
 			strconv.Itoa(cr.Diverged),
 			fmt.Sprintf("%.2f", cr.Convergence.Mean),
+			fmt.Sprintf("%.4f", cr.Convergence.CV()),
 			strconv.FormatInt(cr.MaxWaiting, 10),
 			strconv.FormatInt(cr.WaitingBound, 10),
 			fmt.Sprintf("%.6f", cr.Availability),

@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// needsEscalation is the adaptive-seed predicate over one cell's aggregate:
+// escalate when any run diverged, or when the convergence-time coefficient
+// of variation reaches the spec's trigger — the cells where the seed budget
+// is visibly too small to pin the cell's behavior down.
+func needsEscalation(cr CellResult, es EscalationSpec) bool {
+	if cr.Diverged > 0 {
+		return true
+	}
+	return cr.Convergence.CV() >= es.CV
+}
+
+// escalationSeeds returns the seed range of escalation round r (r ≥ 1):
+// the count grows by Factor each round, and the range starts where the
+// previous round's stopped, so no (cell, seed) pair ever repeats. Every
+// cell of round r was present in all earlier rounds (rounds re-plan from
+// the previous round's report), so the arithmetic is exact per cell.
+func (sp Spec) escalationSeeds(r int) SeedRange {
+	first := sp.Seeds.First
+	count := sp.Seeds.Count
+	for i := 0; i < r; i++ {
+		first += int64(count)
+		count *= sp.Escalation.Factor
+	}
+	return SeedRange{First: first, Count: count}
+}
+
+// EscalationPlan is the re-planning stage: given a round's plan and its
+// merged report, it selects the cells whose convergence statistics trip the
+// escalation predicate and builds the next round's plan over just those
+// cells with the widened seed range. It returns (nil, nil) when escalation
+// is disabled, the round limit is reached, or no cell trips — the pipeline
+// is done.
+func EscalationPlan(prev *Plan, rep *Report) (*Plan, error) {
+	es := prev.Spec.Escalation
+	if es.Rounds <= 0 || prev.Round >= es.Rounds {
+		return nil, nil
+	}
+	if rep.Fingerprint != prev.Fingerprint {
+		return nil, fmt.Errorf("campaign: escalation: report is for plan %.12s…, not %.12s…",
+			rep.Fingerprint, prev.Fingerprint)
+	}
+	var cells []Cell
+	for _, cr := range rep.Results {
+		if needsEscalation(cr, es) {
+			cells = append(cells, cr.Cell)
+		}
+	}
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	p := &Plan{
+		Name:   prev.Name,
+		Spec:   prev.Spec,
+		Round:  prev.Round + 1,
+		Parent: prev.Fingerprint,
+		Seeds:  prev.Spec.escalationSeeds(prev.Round + 1),
+		Cells:  cells,
+	}
+	p.enumerate()
+	p.Fingerprint = p.fingerprint()
+	return p, nil
+}
+
+// Escalated is the outcome of a campaign with adaptive seed escalation: the
+// base report plus one report per escalation round, in round order. Its
+// JSON is byte-identical whether the rounds were executed unsharded or as
+// merged shards.
+type Escalated struct {
+	Name   string    `json:"name"`
+	Base   *Report   `json:"base"`
+	Rounds []*Report `json:"rounds,omitempty"`
+}
+
+// JSON marshals the escalated campaign with stable indentation.
+func (e *Escalated) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// AssembleEscalated validates the provenance chain of independently merged
+// round reports — round numbers consecutive, each round's parent
+// fingerprint pointing at the previous report's plan — and assembles the
+// Escalated result a single-process RunEscalated would have produced.
+func AssembleEscalated(base *Report, rounds ...*Report) (*Escalated, error) {
+	if base.Round != 0 {
+		return nil, fmt.Errorf("campaign: base report has round %d, want 0", base.Round)
+	}
+	prev := base
+	for i, r := range rounds {
+		if r.Round != i+1 {
+			return nil, fmt.Errorf("campaign: round report %d has round %d, want %d", i, r.Round, i+1)
+		}
+		if r.Parent != prev.Fingerprint {
+			return nil, fmt.Errorf("campaign: round %d escalated from plan %.12s…, but the previous report is plan %.12s…",
+				r.Round, r.Parent, prev.Fingerprint)
+		}
+		prev = r
+	}
+	return &Escalated{Name: base.Name, Base: base, Rounds: rounds}, nil
+}
+
+// RunEscalated executes the full pipeline in-process: plan, execute, merge,
+// then escalation rounds until the predicate stops firing or the round
+// limit is hit. The result is reproducible run-to-run for a fixed spec: all
+// seeds (base and escalated) are deterministic functions of the spec.
+func RunEscalated(spec Spec, opts Options) (*Escalated, error) {
+	plan, err := NewPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runPlan(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ContinueEscalation(plan, rep, opts)
+}
+
+// ContinueEscalation picks the pipeline up from an already-merged report —
+// the base round, or any later one — and executes the remaining escalation
+// rounds in-process. This is the single escalation loop: RunEscalated and
+// `koflcampaign merge -escalate` both go through it, which is what makes
+// an unsharded run and a sharded merge byte-identical end to end.
+func ContinueEscalation(plan *Plan, rep *Report, opts Options) (*Escalated, error) {
+	esc := &Escalated{Name: rep.Name, Base: rep}
+	for {
+		next, err := EscalationPlan(plan, rep)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			return esc, nil
+		}
+		plan = next
+		rep, err = runPlan(plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		esc.Rounds = append(esc.Rounds, rep)
+	}
+}
+
+// runPlan executes one plan unsharded and merges it — the single-process
+// path through the pipeline's middle stages.
+func runPlan(plan *Plan, opts Options) (*Report, error) {
+	part, err := ExecuteShard(plan, 0, 1, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Merge(plan, []*Partial{part})
+}

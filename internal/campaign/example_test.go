@@ -1,0 +1,57 @@
+package campaign_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"kofl/internal/campaign"
+)
+
+// ExamplePlan walks the staged pipeline by hand: expand a spec into its
+// execution plan, run the plan as two independent shards (in real use these
+// run on different machines against the same plan file), and merge the
+// partials — producing the exact bytes the single-process Run emits.
+func ExamplePlan() {
+	spec := campaign.Spec{
+		Name:       "pipeline-demo",
+		Topologies: []campaign.TopologySpec{{Kind: "star", N: 6}},
+		KL:         []campaign.KL{{K: 1, L: 2}, {K: 2, L: 3}},
+		Seeds:      campaign.SeedRange{First: 1, Count: 3},
+		Steps:      4_000,
+		Workload:   campaign.WorkloadSpec{Hold: 2, Think: 4},
+	}
+
+	plan, err := campaign.NewPlan(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plan: %d cells × %d seeds = %d slots\n",
+		len(plan.Cells), plan.Seeds.Count, len(plan.Slots))
+
+	var partials []*campaign.Partial
+	for i := 0; i < 2; i++ {
+		pt, err := campaign.ExecuteShard(plan, i, 2, campaign.Options{Workers: 2})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("shard %d/2: %d slots\n", i, len(pt.Results))
+		partials = append(partials, pt)
+	}
+
+	merged, err := campaign.Merge(plan, partials)
+	if err != nil {
+		panic(err)
+	}
+	unsharded, err := campaign.Run(spec, campaign.Options{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	a, _ := merged.JSON()
+	b, _ := unsharded.JSON()
+	fmt.Println("merged == unsharded:", bytes.Equal(a, b))
+	// Output:
+	// plan: 2 cells × 3 seeds = 6 slots
+	// shard 0/2: 3 slots
+	// shard 1/2: 3 slots
+	// merged == unsharded: true
+}

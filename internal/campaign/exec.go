@@ -1,0 +1,312 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kofl/internal/checker"
+	"kofl/internal/core"
+	"kofl/internal/faults"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/workload"
+)
+
+// Options configures an engine invocation. Workers ≤ 0 selects one worker
+// per logical CPU. Progress, when non-nil, is called after every completed
+// run with (done, total); it may be called concurrently from workers.
+//
+// Hooks observe every completed slot (see SlotHook); TraceDir enables the
+// built-in outlier trace capture when the spec's TraceSpec is configured.
+type Options struct {
+	Workers  int
+	Progress func(done, total int)
+	// Hooks run after each slot's simulation completes, while the engine
+	// still knows how to replay it. They are called concurrently from
+	// worker goroutines; any mutation of HookContext.Result must be a
+	// deterministic function of the slot for reports to stay byte-stable.
+	Hooks []SlotHook
+	// TraceDir is where the built-in outlier trace capture writes per-slot
+	// trace files. Empty disables capture even when the spec asks for it —
+	// but note the capture predicate annotates the report (RunResult.Trace),
+	// so all shards of one campaign must agree on whether TraceDir is set.
+	TraceDir string
+}
+
+// SlotHook observes one completed slot. Implementations may annotate the
+// result (e.g. record a trace filename) and may call Replay to re-execute
+// the slot's simulation with extra instrumentation attached — the
+// determinism contract makes the replay exact.
+type SlotHook func(hc *HookContext)
+
+// HookContext is what a SlotHook sees: the plan, the slot, its cell, and
+// the mutable run result about to be recorded.
+type HookContext struct {
+	Plan   *Plan
+	Slot   Slot
+	Cell   Cell
+	Result *RunResult
+
+	replay func(attach func(*sim.Sim))
+}
+
+// Replay re-runs the slot's simulation from scratch. attach is called after
+// the initial configuration is established (where the engine attaches its
+// own monitors), so observers see exactly what the original run's monitors
+// saw. Replay does not touch Result.
+func (hc *HookContext) Replay(attach func(*sim.Sim)) { hc.replay(attach) }
+
+// features maps a variant name to the protocol feature set.
+func features(v string) (core.Features, error) {
+	switch v {
+	case "full", "":
+		return core.Full(), nil
+	case "naive":
+		return core.Naive(), nil
+	case "pusher":
+		return core.PusherOnly(), nil
+	case "nonstab", "non-stabilizing":
+		return core.NonStabilizing(), nil
+	default:
+		return core.Features{}, fmt.Errorf("campaign: unknown variant %q (full|naive|pusher|nonstab)", v)
+	}
+}
+
+// RunResult is the outcome of one (cell, seed) simulation.
+type RunResult struct {
+	Seed       int64   `json:"seed"`
+	Steps      int64   `json:"steps"`
+	Grants     int64   `json:"grants"`
+	Jain       float64 `json:"jain"`
+	MaxWaiting int64   `json:"max_waiting"`
+	// WaitingRatio is MaxWaiting over Theorem 2's ℓ(2n-3)² bound — the
+	// bound-proximity statistic the outlier-trace predicate keys on.
+	WaitingRatio  float64 `json:"waiting_ratio"`
+	Circulations  int64   `json:"circulations"`
+	Resets        int64   `json:"resets"`
+	Timeouts      int64   `json:"timeouts"`
+	Converged     bool    `json:"converged"`
+	ConvergedAt   int64   `json:"converged_at"`
+	SafetyAfter   int     `json:"safety_after_convergence"`
+	LegitSteps    int64   `json:"legit_steps"`
+	DeliveredRes  int64   `json:"delivered_res"`
+	DeliveredCtrl int64   `json:"delivered_ctrl"`
+	Storms        int64   `json:"storms,omitempty"`
+	// Trace is the filename of this run's captured outlier trace, when the
+	// spec's TraceSpec predicate fired (see TraceCapture).
+	Trace string `json:"trace,omitempty"`
+}
+
+// SlotResult pairs a run result with the global slot index it fills.
+type SlotResult struct {
+	Slot   int       `json:"slot"`
+	Result RunResult `json:"result"`
+}
+
+// Partial is the byte-stable output of executing one shard of a plan: the
+// shard's results in ascending slot order, stamped with the plan
+// fingerprint so Merge can refuse partials from a different plan.
+type Partial struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"plan_fingerprint"`
+	Round       int    `json:"round,omitempty"`
+	Shard       int    `json:"shard"`
+	Of          int    `json:"of"`
+	// Traced records whether outlier trace capture was active on this
+	// shard. Capture annotates results (RunResult.Trace), so Merge refuses
+	// to mix traced and untraced partials — the mix would silently break
+	// the byte-identity contract with the unsharded run.
+	Traced  bool         `json:"traced,omitempty"`
+	Results []SlotResult `json:"results"`
+}
+
+// JSON marshals the partial with stable indentation; like reports, the
+// bytes do not depend on the worker count.
+func (pt *Partial) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(pt, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParsePartial decodes a partial report file (unknown fields rejected).
+func ParsePartial(b []byte) (*Partial, error) {
+	var pt Partial
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pt); err != nil {
+		return nil, fmt.Errorf("campaign: bad partial: %w", err)
+	}
+	return &pt, nil
+}
+
+// ExecuteShard runs shard i of m of the plan across the worker pool and
+// returns its partial report. Slot results land in slots addressed by the
+// plan's enumeration, so the partial's bytes are identical for any worker
+// count; ExecuteShard(plan, 0, 1, opts) is the whole plan.
+func ExecuteShard(plan *Plan, i, m int, opts Options) (*Partial, error) {
+	slots, err := plan.Shard(i, m)
+	if err != nil {
+		return nil, err
+	}
+	hooks := opts.Hooks
+	var capture *TraceCapture
+	if plan.Spec.Trace.Enabled() && opts.TraceDir != "" {
+		capture, err = NewTraceCapture(opts.TraceDir, plan.Spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		hooks = append(append([]SlotHook(nil), hooks...), capture.Hook())
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]SlotResult, len(slots))
+	jobs := make(chan int)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				slot := slots[j]
+				cell := plan.Cells[slot.Cell]
+				rr := runOne(plan.Spec, cell, slot.Seed, nil)
+				hc := &HookContext{
+					Plan: plan, Slot: slot, Cell: cell, Result: &rr,
+					replay: func(attach func(*sim.Sim)) {
+						runOne(plan.Spec, cell, slot.Seed, attach)
+					},
+				}
+				for _, h := range hooks {
+					h(hc)
+				}
+				results[j] = SlotResult{Slot: slot.Index, Result: rr}
+				if opts.Progress != nil {
+					opts.Progress(int(done.Add(1)), len(slots))
+				}
+			}
+		}()
+	}
+	for j := range slots {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	if capture != nil {
+		if err := capture.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return &Partial{
+		Name:        plan.Name,
+		Fingerprint: plan.Fingerprint,
+		Round:       plan.Round,
+		Shard:       i,
+		Of:          m,
+		Traced:      capture != nil,
+		Results:     results,
+	}, nil
+}
+
+// runOne executes one simulation: a pure function of (spec, cell, seed).
+// attach, when non-nil, is called with the simulator after the initial
+// configuration is established — the point where the engine's own monitors
+// attach — and must not perturb scheduling (observers and step hooks are
+// safe; see the determinism contract).
+func runOne(spec Spec, c Cell, seed int64, attach func(*sim.Sim)) RunResult {
+	tr, err := c.Topology.Build()
+	if err != nil {
+		panic(err) // cells are validated during expansion
+	}
+	feat, err := features(c.Variant)
+	if err != nil {
+		panic(err)
+	}
+	cfg := core.Config{K: c.K, L: c.L, N: tr.N(), CMAX: c.CMAX, Features: feat}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: seed, TimeoutTicks: c.TimeoutTicks})
+	// Establish the true initial configuration (token seeding for
+	// non-controller variants, arbitrary-start faults) BEFORE attaching the
+	// census monitor: its construction-time observation must account the
+	// configuration the run actually starts from.
+	if !cfg.Features.Controller {
+		s.SeedLegitimate()
+	}
+	if spec.Faults.ArbitraryStart {
+		faults.ArbitraryConfiguration(s, rand.New(rand.NewSource(seed+1000)))
+	}
+	if attach != nil {
+		attach(s)
+	}
+	// One fused census monitor instead of separate legitimacy/safety/
+	// availability hooks: a single O(n) census per step, not three.
+	mon := checker.NewCensusMonitor(s)
+	wait := checker.NewWaiting(s)
+	gr := checker.NewGrants(s)
+	circ := checker.NewCirculations(s)
+	for p := 0; p < tr.N(); p++ {
+		need := spec.Workload.Need
+		if need <= 0 {
+			need = 1 + p%c.K
+		}
+		workload.Attach(s, p, workload.Fixed(need, spec.Workload.Hold, spec.Workload.Think, 0))
+	}
+
+	var storms int64
+	if c.StormPeriod > 0 {
+		rng := rand.New(rand.NewSource(seed + c.StormPeriod))
+		next := c.StormPeriod
+		for s.Steps < spec.Steps {
+			if s.Steps >= next {
+				storms++
+				next += c.StormPeriod
+				switch storms % 4 {
+				case 0:
+					faults.DropTokens(s, rng, message.Res, 1+rng.Intn(3))
+				case 1:
+					faults.DuplicateTokens(s, rng, message.Res, 1+rng.Intn(3))
+				case 2:
+					faults.CorruptStates(s, rng, []int{rng.Intn(tr.N()), rng.Intn(tr.N())})
+				case 3:
+					faults.GarbageChannels(s, rng, 3)
+				}
+			}
+			if !s.Step() {
+				break
+			}
+		}
+	} else {
+		s.Run(spec.Steps)
+	}
+
+	at, ok := mon.ConvergedAt()
+	rr := RunResult{
+		Seed:          seed,
+		Steps:         s.Steps,
+		Grants:        gr.Total(),
+		Jain:          round6(jain(gr.Enters)),
+		MaxWaiting:    wait.Max(),
+		WaitingRatio:  round6(wait.BoundRatio(tr.N(), c.L)),
+		Circulations:  circ.Completed,
+		Resets:        circ.Resets,
+		Timeouts:      circ.Timeouts,
+		Converged:     ok,
+		ConvergedAt:   at,
+		LegitSteps:    mon.LegitSteps,
+		DeliveredRes:  s.Delivered[message.Res],
+		DeliveredCtrl: s.Delivered[message.Ctrl],
+		Storms:        storms,
+	}
+	if ok {
+		rr.SafetyAfter = mon.ViolationsAfter(at)
+	}
+	return rr
+}

@@ -1,0 +1,65 @@
+package campaign
+
+import "fmt"
+
+// Merge is the pipeline's third stage: it validates that the partial
+// reports exactly cover the plan — same plan fingerprint, every slot
+// present exactly once, seeds matching the enumeration — and reassembles
+// the slot array into the Report an unsharded execution of the plan
+// produces, byte for byte. Partials may come from different shardings (any
+// mix of i/m splits) as long as coverage is exact.
+func Merge(plan *Plan, partials []*Partial) (*Report, error) {
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("campaign: merge of plan %q: no partials", plan.Name)
+	}
+	coveredBy := make([]int, len(plan.Slots)) // partial index + 1; 0 = uncovered
+	results := make([][]RunResult, len(plan.Cells))
+	for i := range results {
+		results[i] = make([]RunResult, plan.Seeds.Count)
+	}
+	for pi, pt := range partials {
+		if pt == nil {
+			return nil, fmt.Errorf("campaign: merge of plan %q: partial %d is nil", plan.Name, pi)
+		}
+		if pt.Fingerprint != plan.Fingerprint {
+			return nil, fmt.Errorf("campaign: partial %d (%q shard %d/%d) is from a different plan (fingerprint %.12s…, plan is %.12s…)",
+				pi, pt.Name, pt.Shard, pt.Of, pt.Fingerprint, plan.Fingerprint)
+		}
+		if pt.Traced != partials[0].Traced {
+			return nil, fmt.Errorf("campaign: partial %d ran with trace capture %v but partial 0 ran with %v: all shards must agree on -trace-dir for reports to merge byte-identically",
+				pi, pt.Traced, partials[0].Traced)
+		}
+		for _, sr := range pt.Results {
+			if sr.Slot < 0 || sr.Slot >= len(plan.Slots) {
+				return nil, fmt.Errorf("campaign: partial %d covers slot %d, but plan %q has only %d slots",
+					pi, sr.Slot, plan.Name, len(plan.Slots))
+			}
+			if prev := coveredBy[sr.Slot]; prev != 0 {
+				return nil, fmt.Errorf("campaign: overlap: slot %d covered by partial %d and partial %d",
+					sr.Slot, prev-1, pi)
+			}
+			coveredBy[sr.Slot] = pi + 1
+			slot := plan.Slots[sr.Slot]
+			if sr.Result.Seed != slot.Seed {
+				return nil, fmt.Errorf("campaign: partial %d slot %d ran seed %d, plan says %d",
+					pi, sr.Slot, sr.Result.Seed, slot.Seed)
+			}
+			results[slot.Cell][slot.Run] = sr.Result
+		}
+	}
+	var missing int
+	first := -1
+	for i, c := range coveredBy {
+		if c == 0 {
+			if first < 0 {
+				first = i
+			}
+			missing++
+		}
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("campaign: incomplete coverage of plan %q: %d of %d slots missing (first missing: slot %d, cell %d seed %d)",
+			plan.Name, missing, len(plan.Slots), first, plan.Slots[first].Cell, plan.Slots[first].Seed)
+	}
+	return aggregate(plan, results), nil
+}

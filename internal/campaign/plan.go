@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Slot is one schedulable unit of campaign work: a single (cell, seed)
+// simulation. Index is the slot's global position in the plan's row-major
+// (cell, run) enumeration; Cell indexes Plan.Cells (not Cell.Index, which
+// keeps its base-grid value across escalation rounds).
+type Slot struct {
+	Index int
+	Cell  int
+	Run   int
+	Seed  int64
+}
+
+// Plan is the serializable output of the pipeline's first stage: the full
+// enumeration of everything a campaign will execute, partitionable into
+// deterministic shards. A plan file is the unit of cross-machine
+// distribution — every shard executes against the same plan, and Merge
+// validates partial reports against the plan's fingerprint before
+// reassembling them.
+//
+// Round 0 is the base grid. Escalation rounds (Round ≥ 1) carry the subset
+// of cells being re-swept, a fresh seed range, and the fingerprint of the
+// plan they escalate from (Parent).
+type Plan struct {
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"` // normalized
+	// Round is 0 for the base plan, ≥ 1 for escalation rounds.
+	Round int `json:"round,omitempty"`
+	// Parent is the fingerprint of the previous round's plan (escalation
+	// rounds only).
+	Parent string `json:"parent_fingerprint,omitempty"`
+	// Seeds is the effective per-cell seed range of THIS plan (escalation
+	// rounds widen and shift the spec's base range).
+	Seeds SeedRange `json:"seeds"`
+	Cells []Cell    `json:"cells"`
+	// Slots is the row-major (cell, run) enumeration — a pure function of
+	// Cells × Seeds, so it is rebuilt on parse rather than serialized
+	// (plan files stay O(cells), and the fingerprint over Cells + Seeds
+	// already pins the enumeration).
+	Slots []Slot `json:"-"`
+	// Fingerprint is the SHA-256 of the plan's canonical JSON (with this
+	// field empty); Merge refuses partials whose fingerprint differs.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// NewPlan expands spec into the base (round-0) execution plan: every grid
+// cell crossed with the seed range, enumerated in deterministic row-major
+// (cell, run) order.
+func NewPlan(spec Spec) (*Plan, error) {
+	spec = spec.normalized()
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Name:  spec.Name,
+		Spec:  spec,
+		Seeds: spec.Seeds,
+		Cells: cells,
+	}
+	p.enumerate()
+	p.Fingerprint = p.fingerprint()
+	return p, nil
+}
+
+// enumerate fills Slots from Cells × Seeds in row-major order.
+func (p *Plan) enumerate() {
+	p.Slots = make([]Slot, 0, len(p.Cells)*p.Seeds.Count)
+	for c := range p.Cells {
+		for r := 0; r < p.Seeds.Count; r++ {
+			p.Slots = append(p.Slots, Slot{
+				Index: len(p.Slots),
+				Cell:  c,
+				Run:   r,
+				Seed:  p.Seeds.First + int64(r),
+			})
+		}
+	}
+}
+
+// fingerprint hashes the plan's canonical JSON with the Fingerprint field
+// cleared. Struct field order drives the bytes, so the value is stable.
+func (p *Plan) fingerprint() string {
+	q := *p
+	q.Fingerprint = ""
+	b, err := json.Marshal(&q)
+	if err != nil {
+		panic(err) // plans are plain data; marshalling cannot fail
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// Shard returns shard i of m: the slots with Index ≡ i (mod m). The modulo
+// partition interleaves cells across shards, so expensive cells (big
+// topologies, storm columns) spread evenly instead of clustering in one
+// shard; every slot lands in exactly one shard for any m ≥ 1.
+func (p *Plan) Shard(i, m int) ([]Slot, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("campaign: shard count must be ≥ 1, got %d", m)
+	}
+	if i < 0 || i >= m {
+		return nil, fmt.Errorf("campaign: shard index %d out of range [0, %d)", i, m)
+	}
+	var out []Slot
+	for _, s := range p.Slots {
+		if s.Index%m == i {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// JSON marshals the plan with stable indentation.
+func (p *Plan) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParsePlan decodes and validates a plan file: unknown fields are rejected,
+// the fingerprint must match the content (catching hand-edits and
+// truncation), every cell must still build, and the slot enumeration is
+// rebuilt from the cells × seed range.
+func ParsePlan(b []byte) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("campaign: bad plan: %w", err)
+	}
+	if got := p.fingerprint(); got != p.Fingerprint {
+		return nil, fmt.Errorf("campaign: plan fingerprint mismatch (file says %.12s…, content hashes to %.12s…): plan edited or corrupted",
+			p.Fingerprint, got)
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	p.enumerate()
+	return &p, nil
+}
+
+// validate re-checks the structural invariants a well-formed plan holds by
+// construction.
+func (p *Plan) validate() error {
+	if len(p.Cells) == 0 {
+		return fmt.Errorf("campaign: plan %q has no cells", p.Name)
+	}
+	if p.Seeds.Count < 1 {
+		return fmt.Errorf("campaign: plan %q has seed count %d", p.Name, p.Seeds.Count)
+	}
+	for i, c := range p.Cells {
+		if _, err := c.Topology.Build(); err != nil {
+			return fmt.Errorf("campaign: plan %q cell %d: %w", p.Name, i, err)
+		}
+		if _, err := features(c.Variant); err != nil {
+			return fmt.Errorf("campaign: plan %q cell %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}

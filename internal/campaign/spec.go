@@ -1,13 +1,30 @@
-// Package campaign is the parallel sweep engine: it expands a declarative
-// grid of simulation parameters into cells, runs every (cell, seed) pair as
-// an independent sim.System across a worker pool, and merges the results
-// into an order-independent aggregate Report.
+// Package campaign is the staged sweep pipeline: it expands a declarative
+// grid of simulation parameters into an explicit execution Plan, runs the
+// plan's (cell, seed) slots — whole or one shard at a time, on one machine
+// or many — across a worker pool, and merges the partial results back into
+// an order-independent aggregate Report.
+//
+// The four stages:
+//
+//	plan     Spec → Plan          NewPlan / EscalationPlan
+//	execute  Plan → Partial       ExecuteShard (per-slot hooks, trace capture)
+//	merge    []Partial → Report   Merge (coverage/overlap/provenance checks)
+//	report   Report → JSON/CSV    Report.JSON / WriteCSV
+//
+// Run composes the first three for the single-process case; RunEscalated
+// additionally loops re-plan → execute → merge for adaptive seed
+// escalation. Each stage's artifact (plan, partial, report) is a
+// serializable JSON file, which is what makes campaigns cross-machine
+// shardable: ship the plan, run `ExecuteShard(plan, i, m)` anywhere, and
+// merge the partials at the end.
 //
 // Determinism contract: each run is a pure function of (cell, seed) — the
-// simulator guarantees that — and the engine writes every run's result into
-// a pre-allocated slot addressed by (cell index, run index), then aggregates
-// strictly in grid order. The marshalled Report is therefore byte-identical
-// for any worker count; TestDeterminismAcrossWorkerCounts asserts this.
+// simulator guarantees that — and every result lands in a slot addressed by
+// the plan's (cell index, run index) enumeration, then aggregates strictly
+// in plan order. The marshalled Report is therefore byte-identical for any
+// worker count AND any sharding: Merge over m partials reproduces the
+// unsharded report exactly (TestShardMergeMatrix), which is what makes
+// cross-machine campaign results trustworthy artifacts.
 //
 // Every run carries a fused checker.CensusMonitor, which reads the sim
 // kernel's incrementally maintained census in O(1) per step — see
@@ -26,10 +43,12 @@ import (
 // family; the other fields parameterize it (unused fields are ignored).
 type TopologySpec struct {
 	// Kind is one of chain|star|balanced|caterpillar|broom|spider|paper|
-	// random|prufer.
+	// random|prufer|bounded.
 	Kind string `json:"kind"`
-	// N sizes chain, star, random and prufer topologies.
+	// N sizes chain, star, random, prufer and bounded topologies.
 	N int `json:"n,omitempty"`
+	// Degree caps the maximum degree of bounded topologies (≥ 2).
+	Degree int `json:"degree,omitempty"`
 	// Arity and Depth size balanced trees; Depth doubles as the leg length
 	// of spiders.
 	Arity int `json:"arity,omitempty"`
@@ -90,6 +109,13 @@ func (ts TopologySpec) Build() (*tree.Tree, error) {
 			return nil, fmt.Errorf("campaign: prufer needs n ≥ 2, got %d", ts.N)
 		}
 		return tree.Prufer(ts.N, rand.New(rand.NewSource(ts.Seed))), nil
+	case "bounded":
+		if ts.N < 2 {
+			return nil, fmt.Errorf("campaign: bounded needs n ≥ 2, got %d", ts.N)
+		}
+		// BoundedDegree validates Degree ≥ 2 and reports rejection-sampling
+		// failure for constraints too tight to satisfy.
+		return tree.BoundedDegree(ts.N, ts.Degree, rand.New(rand.NewSource(ts.Seed)))
 	default:
 		return nil, fmt.Errorf("campaign: unknown topology kind %q", ts.Kind)
 	}
@@ -110,6 +136,8 @@ func (ts TopologySpec) Label() string {
 		return fmt.Sprintf("spider-%dx%d", ts.Legs, ts.Depth)
 	case "random", "prufer":
 		return fmt.Sprintf("%s-%d-s%d", ts.Kind, ts.N, ts.Seed)
+	case "bounded":
+		return fmt.Sprintf("bounded-%d-d%d-s%d", ts.N, ts.Degree, ts.Seed)
 	default:
 		return ts.Kind
 	}
@@ -147,6 +175,47 @@ type SeedRange struct {
 	Count int   `json:"count"`
 }
 
+// TraceSpec opts outlier slots into internal/trace capture. A slot whose
+// run trips the predicate — waiting time at least WaitingFraction of
+// Theorem 2's ℓ(2n-3)² bound, or (with Diverged) a run that never converged
+// — is deterministically replayed with a trace log attached, and the trace
+// is written as a per-slot file whose name is recorded in the run's report
+// row. The rest of the grid pays nothing: capture is a replay of the
+// outlier slot only, which the determinism contract makes exact.
+//
+// The predicate is part of the spec (and therefore of the report bytes);
+// the output directory is an engine option (Options.TraceDir), so shards
+// on different machines can write wherever they like without perturbing
+// the merged report.
+type TraceSpec struct {
+	// WaitingFraction captures runs with MaxWaiting ≥ fraction × bound
+	// (0 disables the waiting predicate).
+	WaitingFraction float64 `json:"waiting_fraction,omitempty"`
+	// Diverged captures runs that never converged.
+	Diverged bool `json:"diverged,omitempty"`
+	// Cap bounds the entries kept per trace (default 20000).
+	Cap int `json:"cap,omitempty"`
+}
+
+// Enabled reports whether any capture predicate is configured.
+func (ts TraceSpec) Enabled() bool { return ts.WaitingFraction > 0 || ts.Diverged }
+
+// EscalationSpec configures adaptive seed escalation: after the base grid,
+// cells whose convergence behavior is noisy — any diverged run, or a
+// coefficient of variation of the convergence time at least CV — are
+// re-planned with Factor× the seed count and fresh seeds continuing where
+// the previous round stopped, for up to Rounds rounds. Each round's plan is
+// an ordinary Plan: shardable, mergeable, and byte-reproducible.
+type EscalationSpec struct {
+	// Rounds is the maximum number of escalation rounds (0 = disabled).
+	Rounds int `json:"rounds,omitempty"`
+	// Factor multiplies the seed count each round (default 2).
+	Factor int `json:"factor,omitempty"`
+	// CV is the convergence-time coefficient-of-variation trigger
+	// (default 0.5).
+	CV float64 `json:"cv,omitempty"`
+}
+
 // Spec is a declarative campaign: the cross product of Topologies × (k,ℓ)
 // pairs × CMAX × Variants × Timeouts × Faults.StormPeriods defines the grid
 // cells, and every cell runs Seeds.Count independent seeds.
@@ -175,6 +244,10 @@ type Spec struct {
 	Steps    int64        `json:"steps"`
 	Workload WorkloadSpec `json:"workload"`
 	Faults   FaultSpec    `json:"faults"`
+	// Trace opts outlier slots into per-slot trace capture (see TraceSpec).
+	Trace TraceSpec `json:"trace,omitempty"`
+	// Escalation configures adaptive seed escalation (see EscalationSpec).
+	Escalation EscalationSpec `json:"escalation,omitempty"`
 }
 
 // Cell is one grid point: a fully determined simulation configuration that
@@ -226,6 +299,14 @@ func (sp Spec) normalized() Spec {
 	}
 	if sp.Steps <= 0 {
 		sp.Steps = 100_000
+	}
+	if sp.Escalation.Rounds > 0 {
+		if sp.Escalation.Factor < 2 {
+			sp.Escalation.Factor = 2
+		}
+		if sp.Escalation.CV <= 0 {
+			sp.Escalation.CV = 0.5
+		}
 	}
 	return sp
 }

@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"kofl/internal/sim"
+	"kofl/internal/trace"
+)
+
+// defaultTraceCap bounds the entries kept per captured trace when the spec
+// does not say otherwise.
+const defaultTraceCap = 20_000
+
+// TraceCapture is the built-in SlotHook consumer of the spec's TraceSpec:
+// when a slot's result trips the outlier predicate, the slot is replayed
+// with an internal/trace log attached and the trace written to Dir as
+// "<plan>-r<round>-c<cell>-s<seed>.trace". The filename (not the
+// directory) is recorded in RunResult.Trace, so reports reference their
+// traces portably and stay byte-identical across sharded and unsharded
+// executions.
+type TraceCapture struct {
+	dir  string
+	spec TraceSpec
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewTraceCapture creates the capture directory and returns the capture.
+func NewTraceCapture(dir string, ts TraceSpec) (*TraceCapture, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: trace dir: %w", err)
+	}
+	return &TraceCapture{dir: dir, spec: ts}, nil
+}
+
+// outlier is the capture predicate over a completed run.
+func (ts TraceSpec) outlier(rr *RunResult) bool {
+	if ts.WaitingFraction > 0 && rr.WaitingRatio >= ts.WaitingFraction {
+		return true
+	}
+	if ts.Diverged && !rr.Converged {
+		return true
+	}
+	return false
+}
+
+// TraceFileName is the deterministic per-slot trace filename. The campaign
+// name is sanitized to a safe filename component: specs are user input, and
+// a name containing path separators must not let capture write outside the
+// configured trace directory.
+func TraceFileName(plan *Plan, slot Slot) string {
+	return fmt.Sprintf("%s-r%d-c%03d-s%d.trace", sanitizeName(plan.Name), plan.Round,
+		plan.Cells[slot.Cell].Index, slot.Seed)
+}
+
+// sanitizeName maps a campaign name onto [A-Za-z0-9_-], replacing
+// everything else (path separators, dots, spaces) with '_', so names
+// cannot produce hidden, parent-relative, or out-of-directory files.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "campaign"
+	}
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Hook returns the SlotHook that performs the capture. It is safe for
+// concurrent use by workers; write failures are collected and surfaced by
+// Err after the pool drains.
+func (tc *TraceCapture) Hook() SlotHook {
+	return func(hc *HookContext) {
+		if !tc.spec.outlier(hc.Result) {
+			return
+		}
+		cap := tc.spec.Cap
+		if cap <= 0 {
+			cap = defaultTraceCap
+		}
+		var lg *trace.Log
+		hc.Replay(func(s *sim.Sim) { lg = trace.New(s, cap) })
+		name := TraceFileName(hc.Plan, hc.Slot)
+		f, err := os.Create(filepath.Join(tc.dir, name))
+		if err == nil {
+			_, err = fmt.Fprintf(f, "# campaign %s round %d\n# cell %d: %s\n# seed %d: grants=%d max_waiting=%d (%.4f of bound) converged=%v\n",
+				hc.Plan.Name, hc.Plan.Round, hc.Cell.Index, hc.Cell.Label(),
+				hc.Slot.Seed, hc.Result.Grants, hc.Result.MaxWaiting,
+				hc.Result.WaitingRatio, hc.Result.Converged)
+			if err == nil {
+				_, err = lg.WriteTo(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			tc.mu.Lock()
+			if tc.err == nil {
+				tc.err = fmt.Errorf("campaign: trace capture %s: %w", name, err)
+			}
+			tc.mu.Unlock()
+			return
+		}
+		hc.Result.Trace = name
+	}
+}
+
+// Err returns the first write failure the capture hit, if any.
+func (tc *TraceCapture) Err() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.err
+}

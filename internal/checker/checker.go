@@ -120,17 +120,30 @@ func (m *Safety) ViolationsAfter(clock int64) int {
 // request, the number of critical-section entries by other processes between
 // the request and its grant. Theorem 2 bounds it by ℓ(2n-3)² once the
 // protocol has stabilized.
+//
+// All per-event state is flat per-process slices sized at attach time, so
+// observing an event allocates nothing (event-heavy campaign runs used to
+// churn map buckets here — BenchmarkWaitingMonitor tracks the delta against
+// the historical map-based implementation).
 type Waiting struct {
 	totalEnters int64
-	pendingAt   map[int]int64 // process -> totalEnters at request time
+	pendingAt   []int64 // per process: totalEnters at request time; -1 = no pending request
 	samples     []int64
 	max         int64
-	perProc     map[int]int64 // max per process
+	perProc     []int64 // max per process
 }
 
 // NewWaiting attaches a waiting-time monitor to s.
 func NewWaiting(s *sim.Sim) *Waiting {
-	w := &Waiting{pendingAt: map[int]int64{}, perProc: map[int]int64{}}
+	n := s.Tree.N()
+	w := &Waiting{
+		pendingAt: make([]int64, n),
+		perProc:   make([]int64, n),
+		samples:   make([]int64, 0, 64),
+	}
+	for p := range w.pendingAt {
+		w.pendingAt[p] = -1
+	}
 	s.AddObserver(w.onEvent)
 	return w
 }
@@ -140,7 +153,7 @@ func (w *Waiting) onEvent(e core.Event) {
 	case core.EvRequest:
 		w.pendingAt[e.P] = w.totalEnters
 	case core.EvEnterCS:
-		if at, ok := w.pendingAt[e.P]; ok {
+		if at := w.pendingAt[e.P]; at >= 0 {
 			wait := w.totalEnters - at
 			w.samples = append(w.samples, wait)
 			if wait > w.max {
@@ -149,7 +162,7 @@ func (w *Waiting) onEvent(e core.Event) {
 			if wait > w.perProc[e.P] {
 				w.perProc[e.P] = wait
 			}
-			delete(w.pendingAt, e.P)
+			w.pendingAt[e.P] = -1
 		}
 		w.totalEnters++
 	}
@@ -168,6 +181,18 @@ func (w *Waiting) Samples() []int64 { return w.samples }
 func Bound(n, l int) int64 {
 	d := int64(2*n - 3)
 	return int64(l) * d * d
+}
+
+// BoundRatio returns the worst observed waiting time as a fraction of
+// Theorem 2's bound for an (n, ℓ) system — the bound-proximity statistic the
+// campaign engine's outlier-trace predicate keys on (a run near 1.0 is a
+// candidate counterexample worth a full trace).
+func (w *Waiting) BoundRatio(n, l int) float64 {
+	b := Bound(n, l)
+	if b <= 0 {
+		return 0
+	}
+	return float64(w.max) / float64(b)
 }
 
 // Grants records per-process critical-section entries and exits; the basis

@@ -210,3 +210,87 @@ func TestCirculationsMonitor(t *testing.T) {
 		t.Errorf("LastCount = %v, want [2 1 1]", c.LastCount)
 	}
 }
+
+// mapWaiting replicates the historical map-based Waiting implementation; the
+// flattened monitor must be observationally identical to it on any event
+// stream (this is the differential oracle for the allocation-free rewrite).
+type mapWaiting struct {
+	totalEnters int64
+	pendingAt   map[int]int64
+	samples     []int64
+	max         int64
+	perProc     map[int]int64
+}
+
+func attachMapWaiting(s *sim.Sim) *mapWaiting {
+	w := &mapWaiting{pendingAt: map[int]int64{}, perProc: map[int]int64{}}
+	s.AddObserver(func(e core.Event) {
+		switch e.Kind {
+		case core.EvRequest:
+			w.pendingAt[e.P] = w.totalEnters
+		case core.EvEnterCS:
+			if at, ok := w.pendingAt[e.P]; ok {
+				wait := w.totalEnters - at
+				w.samples = append(w.samples, wait)
+				if wait > w.max {
+					w.max = wait
+				}
+				if wait > w.perProc[e.P] {
+					w.perProc[e.P] = wait
+				}
+				delete(w.pendingAt, e.P)
+			}
+			w.totalEnters++
+		}
+	})
+	return w
+}
+
+func TestWaitingFlattenedMatchesMapOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tr := tree.Balanced(2, 3)
+		s := fullSim(t, tr, 2, 3, seed)
+		flat := checker.NewWaiting(s)
+		legacy := attachMapWaiting(s)
+		for p := 0; p < tr.N(); p++ {
+			workload.Attach(s, p, workload.Fixed(1+p%2, 2, 3, 0))
+		}
+		s.Run(60_000)
+		if flat.Max() != legacy.max {
+			t.Fatalf("seed %d: Max = %d, oracle %d", seed, flat.Max(), legacy.max)
+		}
+		if len(flat.Samples()) != len(legacy.samples) {
+			t.Fatalf("seed %d: %d samples, oracle %d", seed, len(flat.Samples()), len(legacy.samples))
+		}
+		for i, v := range flat.Samples() {
+			if v != legacy.samples[i] {
+				t.Fatalf("seed %d: sample %d = %d, oracle %d", seed, i, v, legacy.samples[i])
+			}
+		}
+		for p := 0; p < tr.N(); p++ {
+			if flat.MaxOf(p) != legacy.perProc[p] {
+				t.Fatalf("seed %d: MaxOf(%d) = %d, oracle %d", seed, p, flat.MaxOf(p), legacy.perProc[p])
+			}
+		}
+		if len(flat.Samples()) == 0 {
+			t.Fatalf("seed %d: no waiting samples recorded (vacuous test)", seed)
+		}
+	}
+}
+
+func TestWaitingBoundRatio(t *testing.T) {
+	tr := tree.Chain(5)
+	s := fullSim(t, tr, 1, 2, 4)
+	w := checker.NewWaiting(s)
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1, 2, 3, 0))
+	}
+	s.Run(40_000)
+	want := float64(w.Max()) / float64(checker.Bound(5, 2))
+	if got := w.BoundRatio(5, 2); got != want {
+		t.Errorf("BoundRatio = %f, want %f", got, want)
+	}
+	if w.BoundRatio(1, 0) != 0 {
+		t.Error("degenerate bound should give ratio 0")
+	}
+}

@@ -109,6 +109,7 @@ func (s *Summary) String() string {
 type Dist struct {
 	N      int     `json:"n"`
 	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
 	Median int64   `json:"median"`
 	Min    int64   `json:"min"`
 	Max    int64   `json:"max"`
@@ -122,10 +123,21 @@ func Describe(samples []int64) Dist {
 	return Dist{
 		N:      s.N(),
 		Mean:   s.Mean(),
+		Stddev: s.Stddev(),
 		Median: s.Percentile(50),
 		Min:    s.Min(),
 		Max:    s.Max(),
 	}
+}
+
+// CV returns the coefficient of variation (stddev / mean), the scale-free
+// spread measure the campaign engine's adaptive seed escalation keys on.
+// It is 0 when the mean is 0 or fewer than two samples were described.
+func (d Dist) CV() float64 {
+	if d.Mean == 0 || d.N < 2 {
+		return 0
+	}
+	return d.Stddev / d.Mean
 }
 
 // JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for the sample

@@ -158,3 +158,22 @@ func TestJainIndex(t *testing.T) {
 		t.Errorf("skew ordering: %f ≤ %f", a, b)
 	}
 }
+
+func TestDescribeStddevAndCV(t *testing.T) {
+	d := Describe([]int64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(d.Stddev-2.13808993) > 1e-6 {
+		t.Errorf("Stddev = %f, want ≈2.138 (sample stddev)", d.Stddev)
+	}
+	if cv := d.CV(); math.Abs(cv-d.Stddev/5.0) > 1e-9 {
+		t.Errorf("CV = %f, want stddev/mean", cv)
+	}
+	if d := Describe([]int64{7}); d.Stddev != 0 || d.CV() != 0 {
+		t.Errorf("single sample: stddev=%f cv=%f, want 0", d.Stddev, d.CV())
+	}
+	if d := Describe(nil); d.Stddev != 0 || d.CV() != 0 {
+		t.Errorf("empty: stddev=%f cv=%f, want 0", d.Stddev, d.CV())
+	}
+	if d := Describe([]int64{0, 0, 0}); d.CV() != 0 {
+		t.Errorf("zero mean: cv=%f, want 0", d.CV())
+	}
+}

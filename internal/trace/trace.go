@@ -5,6 +5,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"kofl/internal/core"
@@ -118,14 +119,31 @@ func (l *Log) Format(e Entry) string {
 // String renders the whole log.
 func (l *Log) String() string {
 	var b strings.Builder
+	l.WriteTo(&b)
+	return b.String()
+}
+
+// WriteTo renders the whole log to w, one formatted entry per line, without
+// materializing it in memory first — this is how the campaign engine's
+// outlier capture streams per-slot trace files to disk. It implements
+// io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var total int64
 	for _, e := range l.Entries {
-		b.WriteString(l.Format(e))
-		b.WriteByte('\n')
+		n, err := fmt.Fprintf(w, "%s\n", l.Format(e))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
 	}
 	if l.Dropped > 0 {
-		fmt.Fprintf(&b, "... %d entries dropped (cap %d)\n", l.Dropped, l.Cap)
+		n, err := fmt.Fprintf(w, "... %d entries dropped (cap %d)\n", l.Dropped, l.Cap)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
 	}
-	return b.String()
+	return total, nil
 }
 
 // TokenPath extracts the sequence of processes visited by deliveries of the

@@ -113,3 +113,29 @@ func TestFormatEventLines(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteToMatchesString(t *testing.T) {
+	s, lg := naiveSingleToken(t)
+	s.Run(50)
+	var sb strings.Builder
+	n, err := lg.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != lg.String() {
+		t.Error("WriteTo output differs from String")
+	}
+	if n != int64(len(sb.String())) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, len(sb.String()))
+	}
+	if n == 0 {
+		t.Error("empty trace (vacuous test)")
+	}
+	// The cap note must render through WriteTo as well.
+	capped := trace.Log{Cap: 1, Dropped: 3}
+	var cb strings.Builder
+	capped.WriteTo(&cb)
+	if !strings.Contains(cb.String(), "3 entries dropped") {
+		t.Errorf("cap note missing: %q", cb.String())
+	}
+}

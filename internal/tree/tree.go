@@ -328,6 +328,16 @@ func Prufer(n int, rng *rand.Rand) *Tree {
 	if n < 2 {
 		panic("tree: Prufer needs n ≥ 2")
 	}
+	seq := make([]int, max(n-2, 0))
+	for i := range seq {
+		seq[i] = rng.Intn(n)
+	}
+	return pruferDecode(n, seq)
+}
+
+// pruferDecode builds the labeled tree encoded by a Prüfer sequence of
+// length n-2 and roots it at process 0.
+func pruferDecode(n int, seq []int) *Tree {
 	adj := make([][]int, n)
 	addEdge := func(u, v int) {
 		adj[u] = append(adj[u], v)
@@ -336,14 +346,12 @@ func Prufer(n int, rng *rand.Rand) *Tree {
 	if n == 2 {
 		addEdge(0, 1)
 	} else {
-		seq := make([]int, n-2)
 		deg := make([]int, n)
 		for i := range deg {
 			deg[i] = 1
 		}
-		for i := range seq {
-			seq[i] = rng.Intn(n)
-			deg[seq[i]]++
+		for _, v := range seq {
+			deg[v]++
 		}
 		// Linear decode: ptr sweeps the labels once; leaf tracks the current
 		// smallest-degree-1 label, dropping below ptr only when a removal
@@ -386,6 +394,55 @@ func Prufer(n int, rng *rand.Rand) *Tree {
 		}
 	}
 	return MustNew(parents)
+}
+
+// boundedDegreeAttempts caps the rejection loop of BoundedDegree: tight
+// constraints (maxDeg = 2 on a large n is asking for one of the n!/2
+// labeled paths among nⁿ⁻² trees) would otherwise never terminate.
+const boundedDegreeAttempts = 100_000
+
+// BoundedDegree returns a uniformly random labeled tree of n processes
+// conditioned on every process having degree at most maxDeg, rooted at
+// process 0 — the bounded-degree null model for sweeps where hub sizes must
+// stay realistic. Sampling is rejection from the uniform Prüfer
+// distribution: a label of degree d appears exactly d-1 times in the
+// sequence, so a draw is restarted as soon as any label reaches maxDeg
+// occurrences, and an accepted sequence is exactly a uniform draw from the
+// conditioned set. Rooting does not disturb the distribution. It returns an
+// error (rather than looping forever) when the constraint is so tight that
+// boundedDegreeAttempts restarts all fail — in practice maxDeg ≥ 3 accepts
+// within a few attempts for any n.
+func BoundedDegree(n, maxDeg int, rng *rand.Rand) (*Tree, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("tree: BoundedDegree needs n ≥ 2, got %d", n)
+	}
+	if maxDeg < 2 {
+		// Any tree of n ≥ 3 has an internal process of degree ≥ 2, and for
+		// n = 2 the degree-1 path is the whole space; require 2 uniformly.
+		return nil, fmt.Errorf("tree: BoundedDegree needs maxDeg ≥ 2, got %d", maxDeg)
+	}
+	seq := make([]int, max(n-2, 0))
+	count := make([]int, n)
+	for attempt := 0; attempt < boundedDegreeAttempts; attempt++ {
+		for i := range count {
+			count[i] = 0
+		}
+		ok := true
+		for i := range seq {
+			v := rng.Intn(n)
+			count[v]++
+			if count[v] > maxDeg-1 { // degree(v) = occurrences(v) + 1
+				ok = false
+				break
+			}
+			seq[i] = v
+		}
+		if ok {
+			return pruferDecode(n, seq), nil
+		}
+	}
+	return nil, fmt.Errorf("tree: BoundedDegree(n=%d, maxDeg=%d): rejection sampling failed after %d attempts (constraint too tight)",
+		n, maxDeg, boundedDegreeAttempts)
 }
 
 // Broom returns a path of `handle` processes rooted at one end, with

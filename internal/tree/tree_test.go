@@ -433,3 +433,82 @@ func TestPruferDeterministicInSeed(t *testing.T) {
 		t.Error("Prufer not deterministic in the RNG seed")
 	}
 }
+
+func TestBoundedDegreeRespectsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, maxDeg int }{
+		{2, 2}, {5, 2}, {12, 3}, {40, 3}, {64, 4}, {200, 5},
+	} {
+		for i := 0; i < 20; i++ {
+			tr, err := BoundedDegree(tc.n, tc.maxDeg, rng)
+			if err != nil {
+				t.Fatalf("BoundedDegree(%d, %d): %v", tc.n, tc.maxDeg, err)
+			}
+			if tr.N() != tc.n {
+				t.Fatalf("N = %d, want %d", tr.N(), tc.n)
+			}
+			for p := 0; p < tr.N(); p++ {
+				if tr.Degree(p) > tc.maxDeg {
+					t.Fatalf("n=%d maxDeg=%d: process %d has degree %d",
+						tc.n, tc.maxDeg, p, tr.Degree(p))
+				}
+			}
+		}
+	}
+}
+
+func TestBoundedDegreeRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BoundedDegree(1, 3, rng); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := BoundedDegree(8, 1, rng); err == nil {
+		t.Error("maxDeg=1 accepted")
+	}
+	// maxDeg=2 on a large n demands a labeled path — astronomically unlikely
+	// under rejection; the attempts cap must turn that into an error, not a
+	// hang.
+	if _, err := BoundedDegree(200, 2, rng); err == nil {
+		t.Error("expected rejection-failure error for n=200 maxDeg=2")
+	}
+}
+
+func TestBoundedDegreeUniformOverConditionedSet(t *testing.T) {
+	// n=4, maxDeg=2: the conditioned set is exactly the 4!/2 = 12 labeled
+	// paths. A uniform sampler must hit all of them about equally.
+	rng := rand.New(rand.NewSource(9))
+	seen := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		tr, err := BoundedDegree(4, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := ""
+		for p := 1; p < 4; p++ {
+			sig += fmt.Sprintf("%d,", tr.Parent(p))
+		}
+		seen[sig]++
+	}
+	if len(seen) != 12 {
+		t.Errorf("sampled %d distinct bounded-degree trees, want 12 labeled paths", len(seen))
+	}
+	for sig, count := range seen {
+		if count < 125 { // E[count] = 250
+			t.Errorf("path %s sampled only %d/3000 times (uniformity suspect)", sig, count)
+		}
+	}
+}
+
+func TestBoundedDegreeDeterministicInSeed(t *testing.T) {
+	a, err := BoundedDegree(31, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BoundedDegree(31, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("BoundedDegree not deterministic in the RNG seed")
+	}
+}

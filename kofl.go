@@ -189,17 +189,58 @@ type CampaignFaults = campaign.FaultSpec
 // CampaignReport is the order-independent aggregate a campaign produces.
 type CampaignReport = campaign.Report
 
-// CampaignOptions tunes the engine (worker count, progress callback).
+// CampaignOptions tunes the engine (worker count, progress callback,
+// per-slot hooks, trace capture directory).
 type CampaignOptions = campaign.Options
+
+// CampaignPlan is the serializable execution plan of a campaign — the
+// enumeration of every (cell, seed) slot, partitionable into deterministic
+// shards for cross-machine execution.
+type CampaignPlan = campaign.Plan
+
+// CampaignPartial is the byte-stable result of executing one shard of a
+// campaign plan.
+type CampaignPartial = campaign.Partial
+
+// CampaignEscalated is a campaign outcome with adaptive seed escalation:
+// the base report plus one report per escalation round.
+type CampaignEscalated = campaign.Escalated
 
 // ParseCampaignSpec decodes a JSON campaign spec (unknown fields rejected).
 func ParseCampaignSpec(b []byte) (CampaignSpec, error) { return campaign.ParseSpec(b) }
 
+// PlanCampaign expands spec into its base execution plan (the pipeline's
+// first stage). The plan round-trips through JSON (Plan.JSON /
+// campaign.ParsePlan), which is the unit of cross-machine distribution.
+func PlanCampaign(spec CampaignSpec) (*CampaignPlan, error) { return campaign.NewPlan(spec) }
+
+// ExecuteCampaignShard runs shard i of m of a campaign plan across workers
+// goroutines and returns its byte-stable partial report.
+func ExecuteCampaignShard(plan *CampaignPlan, i, m, workers int) (*CampaignPartial, error) {
+	return campaign.ExecuteShard(plan, i, m, campaign.Options{Workers: workers})
+}
+
+// MergeCampaign validates that the partials exactly cover the plan and
+// reassembles them into the Report an unsharded run produces, byte for
+// byte.
+func MergeCampaign(plan *CampaignPlan, partials []*CampaignPartial) (*CampaignReport, error) {
+	return campaign.Merge(plan, partials)
+}
+
 // RunCampaign expands spec into grid cells and runs every (cell, seed) pair
 // as an independent System across workers goroutines (workers ≤ 0 = one per
 // logical CPU). The aggregate Report — and its JSON/CSV renderings — is
-// byte-identical for every worker count: results land in slots addressed by
-// (cell, seed) and are merged in grid order.
+// byte-identical for every worker count AND every sharding of the same
+// plan: results land in slots addressed by (cell, seed) and are merged in
+// plan order. Escalation rounds are not run (see RunEscalatedCampaign).
 func RunCampaign(spec CampaignSpec, workers int) (*CampaignReport, error) {
 	return campaign.Run(spec, campaign.Options{Workers: workers})
+}
+
+// RunEscalatedCampaign runs the full adaptive pipeline: the base grid, then
+// up to spec.Escalation.Rounds re-planned sweeps of the cells whose
+// convergence statistics stayed noisy, each with an escalated seed count.
+// The result is reproducible run-to-run for a fixed spec.
+func RunEscalatedCampaign(spec CampaignSpec, workers int) (*CampaignEscalated, error) {
+	return campaign.RunEscalated(spec, campaign.Options{Workers: workers})
 }

@@ -35,5 +35,14 @@ grep -q 'func BenchmarkCensusThroughput' bench_test.go || err "BenchmarkCensusTh
 grep -q 'FullRescan' internal/sim/sim.go || err "sim.Options.FullRescan gone but documented"
 grep -q 'ScanCensus' internal/sim/sim.go || err "sim.Options.ScanCensus gone but documented"
 
+# The campaign pipeline docs reference the four stages and their runnable
+# walkthrough; the code and the example must still exist.
+grep -q 'func ExamplePlan' internal/campaign/example_test.go || err "ExamplePlan gone but documented"
+for sym in NewPlan ExecuteShard Merge EscalationPlan; do
+    grep -qr "func $sym(" internal/campaign || err "campaign.$sym gone but documented"
+done
+grep -q 'campaign pipeline' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the campaign pipeline section"
+grep -q 'koflcampaign merge' internal/campaign/README.md || err "campaign README lost the merge usage"
+
 [ "$fail" -eq 0 ] && echo "check_docs: OK"
 exit "$fail"
