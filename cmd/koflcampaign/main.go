@@ -6,6 +6,7 @@
 // Subcommands:
 //
 //	koflcampaign example                               # print a demo spec
+//	koflcampaign scenarios                             # list built-in adversary scenarios
 //	koflcampaign plan  -spec sweep.json -o plan.json   # spec → plan file
 //	koflcampaign run   -spec sweep.json -json rep.json # plan+execute+merge (+escalation)
 //	koflcampaign run   -plan plan.json -shard 1/3 -partial p1.json
@@ -26,27 +27,31 @@ import (
 	"time"
 
 	"kofl"
+	"kofl/internal/adversary"
 	"kofl/internal/campaign"
 )
 
 // exampleSpec is the built-in demo grid: 2 topologies × 3 (k,ℓ) pairs ×
-// 2 storm schedules × 3 seeds = 12 cells, 36 runs, with outlier trace
-// capture and one adaptive escalation round configured.
+// 2 storm schedules × 2 adversary scenarios × 3 seeds = 24 cells, 72 runs,
+// with outlier trace capture and one adaptive escalation round configured.
+// The scenarios axis crosses a scenario-free column with a built-in
+// adversary script (see `koflcampaign scenarios`).
 const exampleSpec = `{
   "name": "example-sweep",
   "topologies": [
     {"kind": "star", "n": 8},
-    {"kind": "bounded", "n": 8, "degree": 3, "seed": 1}
+    {"kind": "degseq", "degrees": [3, 2, 2, 2, 2, 1, 1, 1], "seed": 1}
   ],
   "kl": [{"k": 1, "l": 1}, {"k": 2, "l": 3}, {"k": 3, "l": 5}],
   "cmax": [4],
   "variants": ["full"],
+  "scenarios": [{}, {"name": "budgeted-random"}],
   "seeds": {"first": 1, "count": 3},
   "steps": 50000,
   "workload": {"need": 0, "hold": 4, "think": 8},
   "faults": {"storm_periods": [0, 10000]},
   "trace": {"waiting_fraction": 0.02, "diverged": true},
-  "escalation": {"rounds": 1, "factor": 2, "cv": 0.1}
+  "escalation": {"rounds": 1, "factor": 2, "cv": 0.1, "waiting_cv": 1.5, "max_seeds": 9}
 }
 `
 
@@ -72,6 +77,8 @@ func run(args []string) error {
 	case "example":
 		fmt.Print(exampleSpec)
 		return nil
+	case "scenarios":
+		err = cmdScenarios(args)
 	case "plan":
 		err = cmdPlan(args)
 	case "run":
@@ -82,7 +89,7 @@ func run(args []string) error {
 		fmt.Print(usage)
 		return nil
 	default:
-		err = usageError(fmt.Sprintf("unknown subcommand %q (plan|run|merge|example)", sub))
+		err = usageError(fmt.Sprintf("unknown subcommand %q (plan|run|merge|scenarios|example)", sub))
 	}
 	if _, ok := err.(usageError); ok {
 		fmt.Fprintln(os.Stderr, "koflcampaign:", err)
@@ -94,6 +101,7 @@ func run(args []string) error {
 
 const usage = `usage:
   koflcampaign example                                   print a demo spec
+  koflcampaign scenarios [-json name]                    list built-in adversary scenarios
   koflcampaign plan  -spec sweep.json [-o plan.json]     expand a spec into a plan file
   koflcampaign run   -spec sweep.json | -plan plan.json  execute
                [-shard i/m -partial out.json]            ... one shard, emitting a partial
@@ -132,6 +140,38 @@ func loadPlan(path string) (*kofl.CampaignPlan, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return plan, nil
+}
+
+// cmdScenarios lists the built-in adversary scenario library, or dumps one
+// script as JSON (a starting point for custom scenario files).
+func cmdScenarios(args []string) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	dump := fs.String("json", "", "print the named built-in's script JSON instead of the listing")
+	if err := fs.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
+	if *dump != "" {
+		sc, ok := adversary.Lookup(*dump)
+		if !ok {
+			return usageError(fmt.Sprintf("scenarios: no built-in scenario %q", *dump))
+		}
+		b, err := sc.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "name\tphases\tevents\tdescription")
+	for _, b := range adversary.Builtins() {
+		events := 0
+		for _, ph := range b.Script.Phases {
+			events += len(ph.Events)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", b.Name, len(b.Script.Phases), events, b.Description)
+	}
+	return w.Flush()
 }
 
 func cmdPlan(args []string) error {

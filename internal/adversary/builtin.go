@@ -1,0 +1,131 @@
+package adversary
+
+import "fmt"
+
+// LegacyStorm returns the scenario script equivalent of the campaign
+// engine's historical FaultSpec storm column: a whole-run phase with one
+// global storm event every `period` steps, RNG offset by the period —
+// exactly the parameters of the old hand-rolled loop, so a storm column
+// executed through the adversary engine replays the legacy fault sequence
+// byte for byte (proved by the campaign package's differential test).
+func LegacyStorm(period int64) *Script {
+	return &Script{
+		Version:   SchemaVersion,
+		Name:      fmt.Sprintf("legacy-storm-%d", period),
+		RngOffset: period,
+		Phases: []Phase{{
+			Name:   "storm",
+			Steps:  0, // the rest of the run
+			Events: []Event{{Kind: "storm", Every: period}},
+		}},
+	}
+}
+
+// BuiltinScenario is one entry of the built-in scenario library.
+type BuiltinScenario struct {
+	Name        string
+	Description string
+	Script      *Script
+}
+
+// Builtins returns the built-in scenario library in stable listing order.
+// Every script references only processes 0 and 1 (present in any tree) and
+// ring position 0, so the library is valid on every campaign topology.
+func Builtins() []BuiltinScenario {
+	return []BuiltinScenario{
+		{
+			Name:        "paper-storm",
+			Description: "the historical rotating storm (drop/duplicate/corrupt/garbage) every 5000 steps",
+			Script:      named("paper-storm", LegacyStorm(5000)),
+		},
+		{
+			Name:        "targeted-root-killer",
+			Description: "warmup, then repeated corruption of the root and ctrl loss on its channels",
+			Script: &Script{
+				Version:   SchemaVersion,
+				Name:      "targeted-root-killer",
+				RngOffset: 101,
+				Repeat:    true,
+				Phases: []Phase{
+					{Name: "warmup", Steps: 5_000},
+					{Name: "assault", Steps: 20_000, Events: []Event{
+						{Kind: "corrupt", Target: Target{Kind: "proc", Proc: 0}, Every: 2_000},
+						{Kind: "drop", Token: "ctrl", Target: Target{Kind: "proc", Proc: 0}, Every: 3_000, Count: 1, Jitter: 1},
+					}},
+					{Name: "quiescence", Steps: 15_000},
+				},
+			},
+		},
+		{
+			Name:        "subtree-partition-burst",
+			Description: "bursts of garbage and token loss confined to the subtree under process 1",
+			Script: &Script{
+				Version:   SchemaVersion,
+				Name:      "subtree-partition-burst",
+				RngOffset: 202,
+				Repeat:    true,
+				Phases: []Phase{
+					{Name: "warmup", Steps: 3_000},
+					{Name: "burst", Steps: 2_000,
+						Budget: Budget{Events: 6},
+						Events: []Event{
+							{Kind: "garbage", Target: Target{Kind: "subtree", Proc: 1}, Every: 500, Count: 2},
+							{Kind: "drop", Target: Target{Kind: "subtree", Proc: 1}, Every: 700, Count: 1, Jitter: 1},
+						}},
+					{Name: "quiescence", Steps: 10_000},
+				},
+			},
+		},
+		{
+			Name:        "garbage-flood-at-CMAX",
+			Description: "periodically refills every channel with up to CMAX garbage messages",
+			Script: &Script{
+				Version:   SchemaVersion,
+				Name:      "garbage-flood-at-CMAX",
+				RngOffset: 303,
+				Phases: []Phase{{
+					Name:  "flood",
+					Steps: 0,
+					// Count 0 means "the configuration's CMAX" for garbage.
+					Events: []Event{{Kind: "garbage", Every: 5_000}},
+				}},
+			},
+		},
+		{
+			Name:        "budgeted-random",
+			Description: "random-target corruption, reorder and pusher injection under a strict event budget",
+			Script: &Script{
+				Version:   SchemaVersion,
+				Name:      "budgeted-random",
+				RngOffset: 404,
+				Budget:    Budget{Events: 25, MinGap: 200},
+				Phases: []Phase{{
+					Name:  "chaos",
+					Steps: 0,
+					Events: []Event{
+						{Kind: "corrupt", Target: Target{Kind: "random", Count: 2}, Every: 1_000},
+						{Kind: "reorder", Every: 1_500, Count: 2},
+						{Kind: "inject", Token: "push", Target: Target{Kind: "random"}, Every: 2_500},
+					},
+				}},
+			},
+		},
+	}
+}
+
+// Lookup resolves a built-in scenario by name.
+func Lookup(name string) (*Script, bool) {
+	for _, b := range Builtins() {
+		if b.Name == name {
+			return b.Script, true
+		}
+	}
+	return nil, false
+}
+
+// named returns sc with its name overridden (for builtins wrapping
+// parameterized constructors).
+func named(name string, sc *Script) *Script {
+	sc.Name = name
+	return sc
+}

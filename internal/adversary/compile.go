@@ -1,0 +1,112 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trigger is one compiled firing: event Event of phase Phase fires
+// immediately before the scheduler step with Sim.Steps == Step. Inst is the
+// phase-instance ordinal (phases of a repeating script instantiate once per
+// cycle), which keys per-phase budgets and orders same-step triggers.
+type Trigger struct {
+	Step  int64 `json:"step"`
+	Phase int   `json:"phase"`
+	Event int   `json:"event"`
+	Inst  int   `json:"inst"`
+}
+
+// maxTriggers bounds the compiled schedule: a script dense enough to exceed
+// it (e.g. every:1 over a huge budget) is almost certainly a mistake, and
+// failing beats silently allocating gigabytes.
+const maxTriggers = 1 << 20
+
+// Schedule is a script compiled against a concrete step budget: the full,
+// deterministic enumeration of when each event fires, in execution order
+// (ascending step, then phase-instance order, then event order). Budgets
+// are not applied here — they depend on nothing random, but the Executor
+// applies them at firing time so the fired/suppressed counts it reports
+// match what actually hit the simulation.
+type Schedule struct {
+	Script   *Script
+	Steps    int64 // the compile horizon (the run's step budget)
+	Triggers []Trigger
+}
+
+// Compile validates the script and expands its phase windows over a run of
+// the given step budget into the trigger enumeration. The schedule is a
+// pure function of (script, steps): no randomness is consumed, so the same
+// script compiles to the same schedule everywhere.
+func Compile(sc *Script, steps int64) (*Schedule, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("adversary: compile horizon must be positive, got %d", steps)
+	}
+	sched := &Schedule{Script: sc, Steps: steps}
+	add := func(at int64, pi, ei, inst int) error {
+		if len(sched.Triggers) >= maxTriggers {
+			return fmt.Errorf("adversary: script %q compiles to more than %d triggers over %d steps",
+				sc.Name, maxTriggers, steps)
+		}
+		sched.Triggers = append(sched.Triggers, Trigger{Step: at, Phase: pi, Event: ei, Inst: inst})
+		return nil
+	}
+	start, inst := int64(0), 0
+	for start < steps {
+		for pi, ph := range sc.Phases {
+			// Clamp the window to the horizon by comparing against the
+			// remaining budget, never by adding: phase lengths are untrusted
+			// input and start+Steps could overflow int64 past the clamp.
+			end := steps
+			if ph.Steps != 0 && ph.Steps < steps-start {
+				end = start + ph.Steps
+			}
+			for ei, ev := range ph.Events {
+				if ev.Every > 0 {
+					for at := start + ev.Every; at > start && at < end; at += ev.Every {
+						if err := add(at, pi, ei, inst); err != nil {
+							return nil, err
+						}
+					}
+				} else if ev.At < end-start {
+					if err := add(start+ev.At, pi, ei, inst); err != nil {
+						return nil, err
+					}
+				}
+			}
+			start = end
+			inst++
+			if start >= steps {
+				break
+			}
+		}
+		if !sc.Repeat {
+			break
+		}
+	}
+	// Generation emits each event's firings contiguously; execution order is
+	// by step, with same-step ties broken by phase instance then event
+	// declaration order.
+	sort.SliceStable(sched.Triggers, func(i, j int) bool {
+		a, b := sched.Triggers[i], sched.Triggers[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.Inst != b.Inst {
+			return a.Inst < b.Inst
+		}
+		return a.Event < b.Event
+	})
+	return sched, nil
+}
+
+// MustCompile is Compile for pre-validated scripts; it panics on error.
+func MustCompile(sc *Script, steps int64) *Schedule {
+	sched, err := Compile(sc, steps)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}

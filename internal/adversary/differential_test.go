@@ -1,0 +1,137 @@
+package adversary_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kofl/internal/adversary"
+	"kofl/internal/core"
+	"kofl/internal/message"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// kindScripts builds one adversarial script per fault kind, each with a
+// non-trivial target so the targeted selection paths — not just the legacy
+// whole-system paths — are the ones under differential test.
+func kindScripts() map[string]*adversary.Script {
+	one := func(ev adversary.Event) *adversary.Script {
+		return &adversary.Script{
+			Version: adversary.SchemaVersion,
+			Name:    ev.Kind,
+			Phases:  []adversary.Phase{{Steps: 0, Events: []adversary.Event{ev}}},
+		}
+	}
+	return map[string]*adversary.Script{
+		"corrupt":   one(adversary.Event{Kind: "corrupt", Target: adversary.Target{Kind: "random", Count: 2}, Every: 250}),
+		"drop":      one(adversary.Event{Kind: "drop", Target: adversary.Target{Kind: "subtree", Proc: 1}, Every: 250, Count: 1, Jitter: 1}),
+		"duplicate": one(adversary.Event{Kind: "duplicate", Target: adversary.Target{Kind: "ring", From: 2, Len: 5}, Every: 250, Count: 2}),
+		"inject":    one(adversary.Event{Kind: "inject", Token: "push", Target: adversary.Target{Kind: "channel", Proc: 0, Peer: 1}, Every: 250}),
+		"garbage":   one(adversary.Event{Kind: "garbage", Target: adversary.Target{Kind: "proc", Proc: 1}, Every: 250, Count: 3}),
+		"reorder":   one(adversary.Event{Kind: "reorder", Every: 250, Count: 2}),
+		"storm":     one(adversary.Event{Kind: "storm", Every: 250}),
+	}
+}
+
+// advRun executes one seeded run with the script attached under the chosen
+// kernel, recording the action trace. In the incremental kernel it also
+// cross-checks the maintained census against the snapshot scan after every
+// step — the proof that each fault kind keeps the census in sync through
+// the tracked surfaces alone, with no explicit resync.
+func advRun(t *testing.T, sc *adversary.Script, tr *tree.Tree, seed, steps int64,
+	newSched func() sim.Scheduler, oracle bool) (trace []string, summary string) {
+	t.Helper()
+	cfg := core.Config{K: 2, L: 3, N: tr.N(), CMAX: 4, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{
+		Seed: seed, Scheduler: newSched(), FullRescan: oracle, ScanCensus: oracle,
+	})
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%cfg.K, 2, 5, 0))
+	}
+	s.AddStepHook(func(s *sim.Sim) {
+		line := s.LastAction.String()
+		if s.LastAction.Kind == sim.ActDeliver {
+			line += " " + s.LastMsg.Kind.String()
+		}
+		trace = append(trace, line)
+		if !oracle {
+			if got, want := s.Census(), s.CensusScan(); got != want {
+				t.Fatalf("step %d: maintained census %+v, scan %+v", s.Steps, got, want)
+			}
+		}
+	})
+	e, err := adversary.NewExecutor(s, adversary.MustCompile(sc, steps), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(steps)
+	summary = fmt.Sprintf("fired=%d delivered=%v timeouts=%d appacts=%d clock=%d census=%v",
+		e.Fired(), s.Delivered, s.Timeouts, s.AppActions, s.Now(), s.Census())
+	return trace, summary
+}
+
+// TestAdversaryDifferential extends the kernel determinism proof to the
+// adversary engine: for every fault kind, under all five scheduler
+// implementations, the incremental kernels and the FullRescan/ScanCensus
+// oracles must produce the exact same action sequence and census while the
+// scripted schedule fires — i.e. every fault primitive honors the
+// fault-injection resync rule on both the action-set and census sides.
+func TestAdversaryDifferential(t *testing.T) {
+	scheds := map[string]func() sim.Scheduler{
+		"random":     func() sim.Scheduler { return sim.NewRandomScheduler() },
+		"roundrobin": func() sim.Scheduler { return sim.NewRoundRobinScheduler() },
+		"slowprio":   func() sim.Scheduler { return sim.NewSlowPrioScheduler(2, 1.0/8) },
+		"antitarget": func() sim.Scheduler { return sim.NewAntiTargetScheduler(1) },
+		"script": func() sim.Scheduler {
+			ss := sim.NewScriptScheduler([]sim.Pick{
+				sim.Deliver(1, 0, message.Res),
+				sim.Deliver(1, sim.AnyCh, 0),
+				sim.AppAct(3),
+			}, true)
+			ss.Fallback = sim.NewRandomScheduler()
+			return ss
+		},
+	}
+	tr := tree.Paper()
+	for kind, sc := range kindScripts() {
+		for schedName, newSched := range scheds {
+			for seed := int64(1); seed <= 2; seed++ {
+				t.Run(fmt.Sprintf("%s/%s/seed=%d", kind, schedName, seed), func(t *testing.T) {
+					gotTrace, gotSum := advRun(t, sc, tr, seed, 2_000, newSched, false)
+					wantTrace, wantSum := advRun(t, sc, tr, seed, 2_000, newSched, true)
+					if len(gotTrace) != len(wantTrace) {
+						t.Fatalf("trace lengths differ: incremental %d, oracle %d", len(gotTrace), len(wantTrace))
+					}
+					for i := range wantTrace {
+						if gotTrace[i] != wantTrace[i] {
+							t.Fatalf("kernels diverged at step %d:\n  oracle:      %s\n  incremental: %s",
+								i+1, wantTrace[i], gotTrace[i])
+						}
+					}
+					if gotSum != wantSum {
+						t.Errorf("summaries differ:\n  oracle:      %s\n  incremental: %s", wantSum, gotSum)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBuiltinDifferential runs each built-in scenario once under both
+// kernels on a mid-sized tree: the library itself honors the resync rule.
+func TestBuiltinDifferential(t *testing.T) {
+	tr := tree.Broom(5, 6)
+	for _, b := range adversary.Builtins() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			newSched := func() sim.Scheduler { return sim.NewRandomScheduler() }
+			gotTrace, gotSum := advRun(t, b.Script, tr, 3, 30_000, newSched, false)
+			wantTrace, wantSum := advRun(t, b.Script, tr, 3, 30_000, newSched, true)
+			if len(gotTrace) != len(wantTrace) || gotSum != wantSum {
+				t.Fatalf("kernels diverged on builtin %q:\n  oracle:      %s\n  incremental: %s",
+					b.Name, wantSum, gotSum)
+			}
+		})
+	}
+}

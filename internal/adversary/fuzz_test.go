@@ -1,0 +1,115 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"kofl/internal/adversary"
+	"kofl/internal/core"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// newFuzzSim builds a small saturated simulation for executor fuzzing.
+func newFuzzSim(tr *tree.Tree) *sim.Sim {
+	cfg := core.Config{K: 2, L: 3, N: tr.N(), CMAX: 4, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%cfg.K, 2, 5, 0))
+	}
+	return s
+}
+
+// FuzzAdversaryScript hammers the scenario pipeline's untrusted-input half:
+// any byte slice must either be rejected by Parse or survive the whole
+// chain — validation, JSON round trip, compilation against two horizons,
+// topology validation, and executor construction plus a short execution on
+// a real simulation — without panicking. Accepted scripts must round-trip
+// through JSON and recompile identically (trigger-for-trigger), which pins
+// the schema's serialization as the cross-machine contract.
+func FuzzAdversaryScript(f *testing.F) {
+	seedScripts := [][]byte{
+		[]byte(`{"version":1,"name":"s","phases":[{"steps":100}]}`),
+		[]byte(`{"version":1,"phases":[{"steps":0,"events":[{"kind":"storm","every":50}]}]}`),
+		[]byte(`{"version":1,"repeat":true,"budget":{"events":3,"min_gap":10},"phases":[` +
+			`{"name":"w","steps":40},` +
+			`{"name":"b","steps":60,"budget":{"events":1},"events":[` +
+			`{"kind":"corrupt","target":{"kind":"subtree","proc":1},"every":7},` +
+			`{"kind":"drop","token":"ctrl","target":{"kind":"ring","from":1,"len":3},"at":5,"count":2,"jitter":1}]}]}`),
+		[]byte(`{"version":1,"phases":[{"steps":30,"events":[` +
+			`{"kind":"garbage","target":{"kind":"channel","proc":0,"peer":1},"every":4},` +
+			`{"kind":"reorder","target":{"kind":"random","count":3},"at":2},` +
+			`{"kind":"inject","token":"push","target":{"kind":"proc","proc":2},"at":9}]}]}`),
+		[]byte(`{"version":2,"phases":[{"steps":1}]}`),
+		[]byte(`{"version":1,"phases":[{"steps":0,"events":[{"kind":"drop","every":1}]}]}`),
+		[]byte(`not json`),
+	}
+	for _, b := range adversary.Builtins() {
+		js, err := b.Script.JSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		seedScripts = append(seedScripts, js)
+	}
+	for _, s := range seedScripts {
+		f.Add(s)
+	}
+
+	tr := tree.Paper()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := adversary.Parse(data)
+		if err != nil {
+			return
+		}
+		js, err := sc.JSON()
+		if err != nil {
+			t.Fatalf("accepted script does not marshal: %v", err)
+		}
+		sc2, err := adversary.Parse(js)
+		if err != nil {
+			t.Fatalf("accepted script does not re-parse: %v\n%s", err, js)
+		}
+		for _, horizon := range []int64{100, 5_000} {
+			sched, err := adversary.Compile(sc, horizon)
+			if err != nil {
+				// Compilable structure is not guaranteed (e.g. overdense
+				// scripts); rejection is fine, inconsistency is not.
+				if _, err2 := adversary.Compile(sc2, horizon); err2 == nil {
+					t.Fatalf("compile(original) failed but compile(round-trip) succeeded: %v", err)
+				}
+				continue
+			}
+			sched2, err := adversary.Compile(sc2, horizon)
+			if err != nil {
+				t.Fatalf("round-tripped script stopped compiling: %v", err)
+			}
+			if len(sched.Triggers) != len(sched2.Triggers) {
+				t.Fatalf("round trip changed the schedule: %d vs %d triggers",
+					len(sched.Triggers), len(sched2.Triggers))
+			}
+			for i := range sched.Triggers {
+				if sched.Triggers[i] != sched2.Triggers[i] {
+					t.Fatalf("round trip changed trigger %d: %+v vs %+v",
+						i, sched.Triggers[i], sched2.Triggers[i])
+				}
+			}
+		}
+		if err := sc.ValidateFor(tr); err != nil {
+			return // script targets a bigger tree; fine
+		}
+		sched, err := adversary.Compile(sc, 500)
+		if err != nil {
+			return
+		}
+		s := newFuzzSim(tr)
+		e, err := adversary.NewExecutor(s, sched, 1)
+		if err != nil {
+			t.Fatalf("ValidateFor accepted but NewExecutor rejected: %v", err)
+		}
+		e.Run(500)
+		// The resync rule must hold whatever the script did.
+		if got, want := s.Census(), s.CensusScan(); got != want {
+			t.Fatalf("census out of sync after scripted faults: maintained %+v, scan %+v", got, want)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package adversary
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Parse decodes and validates a JSON scenario script. Unknown fields are
+// rejected so a typo in a scenario file fails loudly instead of silently
+// weakening the adversary.
+func Parse(b []byte) (*Script, error) {
+	var sc Script
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("adversary: bad script: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// JSON marshals the script with stable indentation; struct field order
+// drives the bytes, so the output is reproducible.
+func (sc *Script) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

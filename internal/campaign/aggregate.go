@@ -27,6 +27,7 @@ type CellResult struct {
 	// Distributions over runs.
 	Grants      stats.Dist `json:"grants"`
 	Convergence stats.Dist `json:"convergence"` // ConvergedAt of converged runs
+	Waiting     stats.Dist `json:"waiting"`     // per-run worst waiting times
 	Diverged    int        `json:"diverged"`    // runs that never converged
 	MaxWaiting  int64      `json:"max_waiting"` // worst over all runs
 
@@ -102,10 +103,11 @@ func aggregate(plan *Plan, results [][]RunResult) *Report {
 			WaitingBound: waitingBound(tr.N(), c.L),
 			Runs:         results[i],
 		}
-		var grants, converged []int64
+		var grants, converged, waiting []int64
 		var legitFrac, jainSum float64
 		for _, rr := range results[i] {
 			grants = append(grants, rr.Grants)
+			waiting = append(waiting, rr.MaxWaiting)
 			cr.TotalGrants += rr.Grants
 			cr.TotalResets += rr.Resets
 			cr.TotalTimeouts += rr.Timeouts
@@ -128,6 +130,7 @@ func aggregate(plan *Plan, results [][]RunResult) *Report {
 		}
 		cr.Grants = stats.Describe(grants)
 		cr.Convergence = stats.Describe(converged)
+		cr.Waiting = stats.Describe(waiting)
 		if cr.WaitingBound > 0 {
 			cr.WaitingRatio = round6(float64(cr.MaxWaiting) / float64(cr.WaitingBound))
 		}

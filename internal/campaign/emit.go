@@ -26,9 +26,9 @@ func (r *Report) JSON() ([]byte, error) {
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"round", "cell", "topology", "n", "k", "l", "cmax", "variant", "timeout", "storm_period",
+		"round", "cell", "topology", "n", "k", "l", "cmax", "variant", "timeout", "storm_period", "scenario",
 		"runs", "total_grants", "mean_grants", "diverged", "mean_convergence", "convergence_cv",
-		"max_waiting", "waiting_bound", "availability", "mean_jain",
+		"max_waiting", "waiting_bound", "waiting_cv", "availability", "mean_jain",
 		"res_per_grant", "ctrl_per_grant", "resets", "timeouts", "safety_violations",
 	}
 	if err := cw.Write(header); err != nil {
@@ -57,6 +57,7 @@ func (r *Report) AppendCSV(w io.Writer) error {
 			cr.Cell.Variant,
 			strconv.FormatInt(cr.Cell.TimeoutTicks, 10),
 			strconv.FormatInt(cr.Cell.StormPeriod, 10),
+			cr.Cell.Scenario,
 			strconv.Itoa(len(cr.Runs)),
 			strconv.FormatInt(cr.TotalGrants, 10),
 			fmt.Sprintf("%.2f", cr.Grants.Mean),
@@ -65,6 +66,7 @@ func (r *Report) AppendCSV(w io.Writer) error {
 			fmt.Sprintf("%.4f", cr.Convergence.CV()),
 			strconv.FormatInt(cr.MaxWaiting, 10),
 			strconv.FormatInt(cr.WaitingBound, 10),
+			fmt.Sprintf("%.4f", cr.Waiting.CV()),
 			fmt.Sprintf("%.6f", cr.Availability),
 			fmt.Sprintf("%.6f", cr.MeanJain),
 			fmt.Sprintf("%.4f", cr.ResPerGrant),

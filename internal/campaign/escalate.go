@@ -6,11 +6,17 @@ import (
 )
 
 // needsEscalation is the adaptive-seed predicate over one cell's aggregate:
-// escalate when any run diverged, or when the convergence-time coefficient
-// of variation reaches the spec's trigger — the cells where the seed budget
-// is visibly too small to pin the cell's behavior down.
+// escalate when any run diverged, when the convergence-time coefficient of
+// variation reaches the spec's trigger, or — with WaitingCV configured —
+// when the per-run worst waiting times are at least that noisy (the
+// waiting bound is constant per cell, so this is the waiting-ratio CV).
+// These are the cells where the seed budget is visibly too small to pin
+// the cell's behavior down.
 func needsEscalation(cr CellResult, es EscalationSpec) bool {
 	if cr.Diverged > 0 {
+		return true
+	}
+	if es.WaitingCV > 0 && cr.Waiting.CV() >= es.WaitingCV {
 		return true
 	}
 	return cr.Convergence.CV() >= es.CV
@@ -20,13 +26,24 @@ func needsEscalation(cr CellResult, es EscalationSpec) bool {
 // the count grows by Factor each round, and the range starts where the
 // previous round's stopped, so no (cell, seed) pair ever repeats. Every
 // cell of round r was present in all earlier rounds (rounds re-plan from
-// the previous round's report), so the arithmetic is exact per cell.
+// the previous round's report), so the arithmetic is exact per cell. With
+// MaxSeeds set, a round is clamped to the remaining per-cell budget and
+// Count reaches 0 once the budget is spent — a pure function of (spec,
+// round), so sharded and unsharded escalations stop at the same point.
 func (sp Spec) escalationSeeds(r int) SeedRange {
 	first := sp.Seeds.First
 	count := sp.Seeds.Count
+	used := count
 	for i := 0; i < r; i++ {
 		first += int64(count)
 		count *= sp.Escalation.Factor
+		if limit := sp.Escalation.MaxSeeds; limit > 0 && used+count > limit {
+			count = limit - used
+			if count < 0 {
+				count = 0
+			}
+		}
+		used += count
 	}
 	return SeedRange{First: first, Count: count}
 }
@@ -46,6 +63,10 @@ func EscalationPlan(prev *Plan, rep *Report) (*Plan, error) {
 		return nil, fmt.Errorf("campaign: escalation: report is for plan %.12s…, not %.12s…",
 			rep.Fingerprint, prev.Fingerprint)
 	}
+	seeds := prev.Spec.escalationSeeds(prev.Round + 1)
+	if seeds.Count <= 0 {
+		return nil, nil // per-cell seed budget (Escalation.MaxSeeds) spent
+	}
 	var cells []Cell
 	for _, cr := range rep.Results {
 		if needsEscalation(cr, es) {
@@ -60,7 +81,7 @@ func EscalationPlan(prev *Plan, rep *Report) (*Plan, error) {
 		Spec:   prev.Spec,
 		Round:  prev.Round + 1,
 		Parent: prev.Fingerprint,
-		Seeds:  prev.Spec.escalationSeeds(prev.Round + 1),
+		Seeds:  seeds,
 		Cells:  cells,
 	}
 	p.enumerate()

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kofl/internal/adversary"
 	"kofl/internal/checker"
 	"kofl/internal/core"
 	"kofl/internal/faults"
@@ -260,28 +261,36 @@ func runOne(spec Spec, c Cell, seed int64, attach func(*sim.Sim)) RunResult {
 		workload.Attach(s, p, workload.Fixed(need, spec.Workload.Hold, spec.Workload.Think, 0))
 	}
 
+	// The fault surface runs through the adversary engine: a legacy storm
+	// column compiles to the equivalent rotating-storm script (byte-identical
+	// fault sequence, see adversary.LegacyStorm), and a scenario column to
+	// its declarative script. Both can be active in one cell — the axes
+	// cross — in which case the storm executor fires first each step.
 	var storms int64
+	var execs []*adversary.Executor
 	if c.StormPeriod > 0 {
-		rng := rand.New(rand.NewSource(seed + c.StormPeriod))
-		next := c.StormPeriod
+		sched := adversary.MustCompile(adversary.LegacyStorm(c.StormPeriod), spec.Steps)
+		execs = append(execs, adversary.MustNewExecutor(s, sched, seed))
+	}
+	if c.Scenario != "" {
+		script, err := spec.scenarioScript(c.Scenario)
+		if err != nil {
+			panic(err) // scenarios are validated during expansion
+		}
+		sched := adversary.MustCompile(script, spec.Steps)
+		execs = append(execs, adversary.MustNewExecutor(s, sched, seed))
+	}
+	if len(execs) > 0 {
 		for s.Steps < spec.Steps {
-			if s.Steps >= next {
-				storms++
-				next += c.StormPeriod
-				switch storms % 4 {
-				case 0:
-					faults.DropTokens(s, rng, message.Res, 1+rng.Intn(3))
-				case 1:
-					faults.DuplicateTokens(s, rng, message.Res, 1+rng.Intn(3))
-				case 2:
-					faults.CorruptStates(s, rng, []int{rng.Intn(tr.N()), rng.Intn(tr.N())})
-				case 3:
-					faults.GarbageChannels(s, rng, 3)
-				}
+			for _, e := range execs {
+				e.BeforeStep()
 			}
 			if !s.Step() {
 				break
 			}
+		}
+		for _, e := range execs {
+			storms += e.Fired()
 		}
 	} else {
 		s.Run(spec.Steps)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -389,7 +390,7 @@ func TestSlotHooksAndReplay(t *testing.T) {
 	var calls atomic.Int64
 	hook := func(hc *HookContext) {
 		calls.Add(1)
-		if hc.Cell != plan.Cells[hc.Slot.Cell] {
+		if !reflect.DeepEqual(hc.Cell, plan.Cells[hc.Slot.Cell]) {
 			t.Error("hook cell does not match slot")
 		}
 		if hc.Result.Seed != hc.Slot.Seed {

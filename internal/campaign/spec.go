@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"kofl/internal/adversary"
 	"kofl/internal/tree"
 )
 
@@ -43,12 +44,16 @@ import (
 // family; the other fields parameterize it (unused fields are ignored).
 type TopologySpec struct {
 	// Kind is one of chain|star|balanced|caterpillar|broom|spider|paper|
-	// random|prufer|bounded.
+	// random|prufer|bounded|degseq.
 	Kind string `json:"kind"`
 	// N sizes chain, star, random, prufer and bounded topologies.
 	N int `json:"n,omitempty"`
 	// Degree caps the maximum degree of bounded topologies (≥ 2).
 	Degree int `json:"degree,omitempty"`
+	// Degrees is the exact target degree sequence of degseq topologies
+	// (one entry per process; the sample is uniform over labeled trees
+	// realizing it).
+	Degrees []int `json:"degrees,omitempty"`
 	// Arity and Depth size balanced trees; Depth doubles as the leg length
 	// of spiders.
 	Arity int `json:"arity,omitempty"`
@@ -58,9 +63,9 @@ type TopologySpec struct {
 	// the leg count of spiders.
 	Spine int `json:"spine,omitempty"`
 	Legs  int `json:"legs,omitempty"`
-	// Seed draws the random topology (Kinds "random" and "prufer"); it is
-	// part of the grid cell, not the per-run seed, so every run of a cell
-	// sees the same tree.
+	// Seed draws the random topology (Kinds "random", "prufer", "bounded"
+	// and "degseq"); it is part of the grid cell, not the per-run seed, so
+	// every run of a cell sees the same tree.
 	Seed int64 `json:"seed,omitempty"`
 }
 
@@ -116,6 +121,10 @@ func (ts TopologySpec) Build() (*tree.Tree, error) {
 		// BoundedDegree validates Degree ≥ 2 and reports rejection-sampling
 		// failure for constraints too tight to satisfy.
 		return tree.BoundedDegree(ts.N, ts.Degree, rand.New(rand.NewSource(ts.Seed)))
+	case "degseq":
+		// FromDegreeSequence validates the sequence (length ≥ 2, every
+		// degree ≥ 1, sum 2(n-1)).
+		return tree.FromDegreeSequence(ts.Degrees, rand.New(rand.NewSource(ts.Seed)))
 	default:
 		return nil, fmt.Errorf("campaign: unknown topology kind %q", ts.Kind)
 	}
@@ -138,6 +147,8 @@ func (ts TopologySpec) Label() string {
 		return fmt.Sprintf("%s-%d-s%d", ts.Kind, ts.N, ts.Seed)
 	case "bounded":
 		return fmt.Sprintf("bounded-%d-d%d-s%d", ts.N, ts.Degree, ts.Seed)
+	case "degseq":
+		return fmt.Sprintf("degseq-%d-s%d", len(ts.Degrees), ts.Seed)
 	default:
 		return ts.Kind
 	}
@@ -167,6 +178,17 @@ type WorkloadSpec struct {
 type FaultSpec struct {
 	ArbitraryStart bool    `json:"arbitrary_start,omitempty"`
 	StormPeriods   []int64 `json:"storm_periods,omitempty"`
+}
+
+// ScenarioSpec names one adversary scenario of the grid's fault axis. The
+// zero value is the fault-free column. A Name alone selects a built-in
+// scenario (see `koflcampaign scenarios`); an inline Script carries the
+// scenario in the spec itself. Normalization embeds the resolved script
+// either way, so the plan fingerprint always covers the exact fault
+// schedule a cell ran under — a scenario edit is a different plan.
+type ScenarioSpec struct {
+	Name   string            `json:"name,omitempty"`
+	Script *adversary.Script `json:"script,omitempty"`
 }
 
 // SeedRange is the per-cell seed sweep: Count seeds starting at First.
@@ -201,11 +223,13 @@ type TraceSpec struct {
 func (ts TraceSpec) Enabled() bool { return ts.WaitingFraction > 0 || ts.Diverged }
 
 // EscalationSpec configures adaptive seed escalation: after the base grid,
-// cells whose convergence behavior is noisy — any diverged run, or a
-// coefficient of variation of the convergence time at least CV — are
-// re-planned with Factor× the seed count and fresh seeds continuing where
-// the previous round stopped, for up to Rounds rounds. Each round's plan is
-// an ordinary Plan: shardable, mergeable, and byte-reproducible.
+// cells whose behavior is noisy — any diverged run, a coefficient of
+// variation of the convergence time at least CV, or (when WaitingCV is set)
+// a waiting-ratio CV at least WaitingCV — are re-planned with Factor× the
+// seed count and fresh seeds continuing where the previous round stopped,
+// for up to Rounds rounds or until the per-cell seed budget MaxSeeds is
+// spent. Each round's plan is an ordinary Plan: shardable, mergeable, and
+// byte-reproducible.
 type EscalationSpec struct {
 	// Rounds is the maximum number of escalation rounds (0 = disabled).
 	Rounds int `json:"rounds,omitempty"`
@@ -214,6 +238,16 @@ type EscalationSpec struct {
 	// CV is the convergence-time coefficient-of-variation trigger
 	// (default 0.5).
 	CV float64 `json:"cv,omitempty"`
+	// WaitingCV additionally triggers on the coefficient of variation of
+	// the per-run worst waiting times — the bound-proximity noise the
+	// outlier-trace predicate keys on (0 = disabled). The per-cell waiting
+	// bound is constant, so this is exactly the waiting-ratio CV.
+	WaitingCV float64 `json:"waiting_cv,omitempty"`
+	// MaxSeeds caps the cumulative per-cell seed budget across the base
+	// grid and every escalation round (0 = uncapped). A round that would
+	// exceed it is clamped to the remaining budget; once the budget is
+	// spent, escalation stops.
+	MaxSeeds int `json:"max_seeds,omitempty"`
 }
 
 // Spec is a declarative campaign: the cross product of Topologies × (k,ℓ)
@@ -236,6 +270,12 @@ type Spec struct {
 	// Timeouts sweeps the root's retransmission timeout in scheduler steps
 	// (0 = topology-derived default; empty list means a single default column).
 	Timeouts []int64 `json:"timeouts,omitempty"`
+	// Scenarios is the adversary axis of the fault surface: each entry adds
+	// a cell column running under that declarative fault scenario (see
+	// ScenarioSpec and internal/adversary). An empty list means a single
+	// scenario-free column; it crosses with Faults.StormPeriods, so a spec
+	// can sweep legacy storms and scripted scenarios side by side.
+	Scenarios []ScenarioSpec `json:"scenarios,omitempty"`
 	// Seeds is the per-cell seed range. A wholly omitted range defaults to
 	// {First: 1, Count: 1}; when Count is set, First is used verbatim
 	// (0 is a valid first seed).
@@ -261,6 +301,10 @@ type Cell struct {
 	Variant      string       `json:"variant"`
 	TimeoutTicks int64        `json:"timeout_ticks,omitempty"`
 	StormPeriod  int64        `json:"storm_period,omitempty"`
+	// Scenario names the adversary scenario this cell runs under (empty =
+	// none); the script itself lives in the spec's Scenarios list, which
+	// the plan fingerprint covers.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Label renders the cell compactly for CSV rows and progress lines.
@@ -271,6 +315,9 @@ func (c Cell) Label() string {
 	}
 	if c.StormPeriod > 0 {
 		s += fmt.Sprintf(" storm=%d", c.StormPeriod)
+	}
+	if c.Scenario != "" {
+		s += " adv=" + c.Scenario
 	}
 	return s
 }
@@ -300,6 +347,25 @@ func (sp Spec) normalized() Spec {
 	if sp.Steps <= 0 {
 		sp.Steps = 100_000
 	}
+	// Resolve built-in scenario names into embedded scripts so the plan
+	// fingerprint covers the exact fault schedule (an unknown name stays
+	// unresolved and fails cell validation with a usable error). The slice
+	// is copied: normalization must not mutate the caller's spec.
+	if len(sp.Scenarios) > 0 {
+		scenarios := make([]ScenarioSpec, len(sp.Scenarios))
+		copy(scenarios, sp.Scenarios)
+		for i, sc := range scenarios {
+			if sc.Script == nil && sc.Name != "" {
+				if b, ok := adversary.Lookup(sc.Name); ok {
+					scenarios[i].Script = b
+				}
+			}
+			if sc.Script != nil && sc.Name == "" {
+				scenarios[i].Name = sc.Script.Name
+			}
+		}
+		sp.Scenarios = scenarios
+	}
 	if sp.Escalation.Rounds > 0 {
 		if sp.Escalation.Factor < 2 {
 			sp.Escalation.Factor = 2
@@ -309,6 +375,56 @@ func (sp Spec) normalized() Spec {
 		}
 	}
 	return sp
+}
+
+// validateScenarios checks the scenario axis's topology-independent
+// invariants: every non-empty column resolved to a named, structurally
+// valid script that compiles over the spec's step budget, with no duplicate
+// names (a cell references its scenario by name).
+func (sp Spec) validateScenarios(scenarios []ScenarioSpec) error {
+	seen := map[string]bool{}
+	for i, sc := range scenarios {
+		if sc.Script == nil {
+			if sc.Name != "" {
+				return fmt.Errorf("campaign: scenario %q is not a built-in and carries no script (see `koflcampaign scenarios`)", sc.Name)
+			}
+			continue // the fault-free column
+		}
+		if sc.Name == "" {
+			return fmt.Errorf("campaign: scenario %d: inline scripts need a name", i)
+		}
+		if seen[sc.Name] {
+			return fmt.Errorf("campaign: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if _, err := adversary.Compile(sc.Script, sp.Steps); err != nil {
+			return fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+		}
+	}
+	return nil
+}
+
+// scenarioScript resolves a cell's scenario name against the (normalized)
+// spec's scenario list.
+func (sp Spec) scenarioScript(name string) (*adversary.Script, error) {
+	for _, sc := range sp.Scenarios {
+		if sc.Name == name {
+			if sc.Script == nil {
+				return nil, fmt.Errorf("campaign: scenario %q is not a built-in and carries no script (see `koflcampaign scenarios`)", name)
+			}
+			return sc.Script, nil
+		}
+	}
+	return nil, fmt.Errorf("campaign: cell references unknown scenario %q", name)
+}
+
+// scenarioColumns returns the effective scenario axis: the spec's list, or
+// the single scenario-free column.
+func (sp Spec) scenarioColumns() []ScenarioSpec {
+	if len(sp.Scenarios) == 0 {
+		return []ScenarioSpec{{}}
+	}
+	return sp.Scenarios
 }
 
 // pairs returns the effective (k,ℓ) axis (see Spec doc).
@@ -339,10 +455,27 @@ func (sp Spec) Cells() ([]Cell, error) {
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("campaign: spec %q has no valid (k,ℓ) pairs", n.Name)
 	}
+	scenarios := n.scenarioColumns()
+	if err := n.validateScenarios(scenarios); err != nil {
+		return nil, err
+	}
 	var cells []Cell
 	for _, ts := range n.Topologies {
-		if _, err := ts.Build(); err != nil {
+		tr, err := ts.Build()
+		if err != nil {
 			return nil, err
+		}
+		// Topology-dependent scenario validation (target process ids,
+		// adjacency, ring positions): every scenario must be valid on every
+		// topology of the grid, checked here so the worker pool cannot fail
+		// mid-flight.
+		for _, sc := range scenarios {
+			if sc.Script == nil {
+				continue
+			}
+			if err := sc.Script.ValidateFor(tr); err != nil {
+				return nil, fmt.Errorf("campaign: scenario %q on topology %s: %w", sc.Name, ts.Label(), err)
+			}
 		}
 		for _, kl := range pairs {
 			if kl.K < 1 || kl.K > kl.L {
@@ -361,16 +494,19 @@ func (sp Spec) Cells() ([]Cell, error) {
 					}
 					for _, to := range n.Timeouts {
 						for _, storm := range n.Faults.StormPeriods {
-							cells = append(cells, Cell{
-								Index:        len(cells),
-								Topology:     ts,
-								K:            kl.K,
-								L:            kl.L,
-								CMAX:         cmax,
-								Variant:      v,
-								TimeoutTicks: to,
-								StormPeriod:  storm,
-							})
+							for _, sc := range scenarios {
+								cells = append(cells, Cell{
+									Index:        len(cells),
+									Topology:     ts,
+									K:            kl.K,
+									L:            kl.L,
+									CMAX:         cmax,
+									Variant:      v,
+									TimeoutTicks: to,
+									StormPeriod:  storm,
+									Scenario:     sc.Name,
+								})
+							}
 						}
 					}
 				}

@@ -3,6 +3,16 @@
 // channel contents (up to CMAX messages per channel, the paper's assumption
 // for bounded-memory stabilization — Gouda & Multari).
 //
+// The injector implementations live in internal/adversary, which
+// generalizes them to targeted selections (subtrees, ring segments, channel
+// pairs) and drives them from declarative scenario scripts; this package
+// keeps the historical whole-system API as thin wrappers so existing
+// callers — experiments, examples, the System surface — are untouched. The
+// wrappers pass nil selections, which the primitives resolve to the whole
+// system in canonical order, consuming the RNG exactly as the historical
+// bodies did: seeded fault schedules replay byte-identically across the
+// migration.
+//
 // All injectors are deterministic functions of the supplied RNG, so fault
 // scenarios are reproducible from a seed.
 //
@@ -12,15 +22,15 @@
 // (Seed/Replace/Push/Pop) — whose emptiness and message hooks keep both in
 // sync automatically — and process state only through sim.Sim.RestoreNode,
 // which folds the state delta into the census; anything else must be
-// followed by sim.Sim.ResyncActions. Every injector in this package uses
-// those two surfaces exclusively. State corruption cannot change action
-// enablement, so RestoreNode needs no action-set resync.
+// followed by sim.Sim.ResyncActions. Every injector behind this package
+// uses those two surfaces exclusively. State corruption cannot change
+// action enablement, so RestoreNode needs no action-set resync.
 package faults
 
 import (
 	"math/rand"
 
-	"kofl/internal/channel"
+	"kofl/internal/adversary"
 	"kofl/internal/core"
 	"kofl/internal/message"
 	"kofl/internal/sim"
@@ -30,62 +40,26 @@ import (
 // arbitrary messages in [0..perChannel], capped at the configuration's CMAX.
 // Controller garbage draws its flag from the full counter domain.
 func GarbageChannels(s *sim.Sim, rng *rand.Rand, perChannel int) {
-	if perChannel > s.Cfg.CMAX {
-		perChannel = s.Cfg.CMAX
-	}
-	ForceGarbageChannels(s, rng, perChannel)
+	adversary.GarbageChannels(s, rng, perChannel, nil)
 }
 
 // ForceGarbageChannels is GarbageChannels without the CMAX cap: it violates
 // the paper's channel assumption on purpose (ablation A4 measures what that
-// does to bounded-counter convergence). Garbage controller flags are drawn
-// from the BOUNDED domain even when the configuration uses unbounded
-// counters — adversarial garbage must collide with values the root will
-// actually use.
+// does to bounded-counter convergence).
 func ForceGarbageChannels(s *sim.Sim, rng *rand.Rand, perChannel int) {
-	if perChannel < 0 {
-		perChannel = 0
-	}
-	mod := 2*(s.Cfg.N-1)*(s.Cfg.CMAX+1) + 1
-	s.Channels(func(c *channel.Channel) {
-		for i := rng.Intn(perChannel + 1); i > 0; i-- {
-			c.Seed(message.Random(rng, mod, s.Cfg.L))
-		}
-	})
+	adversary.ForceGarbageChannels(s, rng, perChannel, nil)
 }
 
 // RandomSnapshot draws a uniformly random local state for a process of the
 // given degree, within every variable's declared domain.
 func RandomSnapshot(cfg core.Config, deg int, rng *rand.Rand) core.Snapshot {
-	snap := core.Snapshot{
-		State:  core.State(rng.Intn(3)),
-		Need:   rng.Intn(cfg.K + 1),
-		MyC:    rng.Intn(cfg.CounterMod()),
-		Succ:   rng.Intn(deg),
-		Prio:   rng.Intn(deg+1) - 1, // -1 = ⊥
-		Reset:  rng.Intn(2) == 0,
-		SToken: rng.Intn(cfg.L + 2),
-		SPrio:  rng.Intn(3),
-		SPush:  rng.Intn(3),
-	}
-	for i := rng.Intn(cfg.K + 1); i > 0; i-- {
-		snap.RSet = append(snap.RSet, rng.Intn(deg))
-	}
-	return snap
+	return adversary.RandomSnapshot(cfg, deg, rng)
 }
 
 // CorruptStates overwrites the local state of every process in procs with a
 // random domain-respecting snapshot. A nil procs corrupts every process.
 func CorruptStates(s *sim.Sim, rng *rand.Rand, procs []int) {
-	if procs == nil {
-		procs = make([]int, s.Tree.N())
-		for p := range procs {
-			procs[p] = p
-		}
-	}
-	for _, p := range procs {
-		s.RestoreNode(p, RandomSnapshot(s.Cfg, s.Tree.Degree(p), rng))
-	}
+	adversary.CorruptStates(s, rng, procs)
 }
 
 // ArbitraryConfiguration places the system in a fully arbitrary
@@ -101,79 +75,17 @@ func ArbitraryConfiguration(s *sim.Sim, rng *rand.Rand) {
 // chosen uniformly over channels; it returns how many were removed.
 // Modelling token loss (e.g. a crashed link buffer).
 func DropTokens(s *sim.Sim, rng *rand.Rand, kind message.Kind, count int) int {
-	type pos struct {
-		c *channel.Channel
-		i int
-	}
-	var candidates []pos
-	s.Channels(func(c *channel.Channel) {
-		for i, m := range c.Snapshot() {
-			if m.Kind == kind {
-				candidates = append(candidates, pos{c, i})
-			}
-		}
-	})
-	rng.Shuffle(len(candidates), func(i, j int) {
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	})
-	if count > len(candidates) {
-		count = len(candidates)
-	}
-	// Delete by channel, highest index first so indices stay valid.
-	byChan := map[*channel.Channel][]int{}
-	for _, p := range candidates[:count] {
-		byChan[p.c] = append(byChan[p.c], p.i)
-	}
-	for c, idxs := range byChan {
-		msgs := c.Snapshot()
-		keep := msgs[:0]
-		for i, m := range msgs {
-			drop := false
-			for _, j := range idxs {
-				if i == j {
-					drop = true
-					break
-				}
-			}
-			if !drop {
-				keep = append(keep, m)
-			}
-		}
-		c.Replace(keep)
-	}
-	return count
+	return adversary.DropTokens(s, rng, kind, count, nil)
 }
 
 // DuplicateTokens duplicates up to count in-flight messages of the given
 // kind (the duplicate is appended right behind the original); it returns how
 // many were duplicated. Modelling retransmission faults.
 func DuplicateTokens(s *sim.Sim, rng *rand.Rand, kind message.Kind, count int) int {
-	dup := 0
-	s.Channels(func(c *channel.Channel) {
-		if dup >= count {
-			return
-		}
-		msgs := c.Snapshot()
-		var out []message.Message
-		for _, m := range msgs {
-			out = append(out, m)
-			if m.Kind == kind && dup < count {
-				out = append(out, m)
-				dup++
-			}
-		}
-		if len(out) != len(msgs) {
-			c.Replace(out)
-		}
-	})
-	return dup
+	return adversary.DuplicateTokens(s, rng, kind, count, nil)
 }
 
 // InjectTokens seeds extra tokens of the given kind on random channels.
 func InjectTokens(s *sim.Sim, rng *rand.Rand, kind message.Kind, count int) {
-	var chans []*channel.Channel
-	s.Channels(func(c *channel.Channel) { chans = append(chans, c) })
-	for i := 0; i < count; i++ {
-		chans[rng.Intn(len(chans))].Seed(message.Message{Kind: kind})
-	}
+	adversary.InjectTokens(s, rng, kind, count, nil)
 }

@@ -396,6 +396,41 @@ func pruferDecode(n int, seq []int) *Tree {
 	return MustNew(parents)
 }
 
+// FromDegreeSequence returns a uniformly random labeled tree realizing the
+// exact degree sequence degs (degs[p] is the degree of process p), rooted
+// at process 0 — the sharpest of the random-tree null models: hub sizes are
+// not just bounded but pinned. A label of degree d appears exactly d-1
+// times in a Prüfer sequence, so the trees realizing degs correspond
+// one-to-one to the arrangements of that fixed multiset; a uniform shuffle
+// of the multiset is therefore a uniform draw from the conditioned set (no
+// rejection needed), and rooting does not disturb the distribution. It
+// errors unless every degree is ≥ 1 and the degrees sum to 2(n-1) — the
+// exact realizability condition for trees.
+func FromDegreeSequence(degs []int, rng *rand.Rand) (*Tree, error) {
+	n := len(degs)
+	if n < 2 {
+		return nil, fmt.Errorf("tree: FromDegreeSequence needs ≥ 2 degrees, got %d", n)
+	}
+	sum := 0
+	for p, d := range degs {
+		if d < 1 {
+			return nil, fmt.Errorf("tree: FromDegreeSequence: process %d has degree %d (every process of a tree has degree ≥ 1)", p, d)
+		}
+		sum += d
+	}
+	if sum != 2*(n-1) {
+		return nil, fmt.Errorf("tree: FromDegreeSequence: degrees sum to %d, a tree on %d processes needs exactly %d", sum, n, 2*(n-1))
+	}
+	seq := make([]int, 0, n-2)
+	for p, d := range degs {
+		for i := 1; i < d; i++ {
+			seq = append(seq, p)
+		}
+	}
+	rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+	return pruferDecode(n, seq), nil
+}
+
 // boundedDegreeAttempts caps the rejection loop of BoundedDegree: tight
 // constraints (maxDeg = 2 on a large n is asking for one of the n!/2
 // labeled paths among nⁿ⁻² trees) would otherwise never terminate.

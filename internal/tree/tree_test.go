@@ -512,3 +512,81 @@ func TestBoundedDegreeDeterministicInSeed(t *testing.T) {
 		t.Error("BoundedDegree not deterministic in the RNG seed")
 	}
 }
+
+func TestFromDegreeSequenceRealizesDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := [][]int{
+		{1, 1},                         // the 2-path
+		{3, 1, 1, 1},                   // a star centered at 0
+		{1, 2, 2, 2, 1},                // a path through 1..3
+		{2, 3, 1, 1, 2, 2, 2, 1},       // mixed hubs, sum 14 = 2(8-1)
+		{4, 1, 1, 2, 2, 1, 3, 1, 1, 2}, // sum 18 = 2(10-1)
+	}
+	for _, degs := range cases {
+		for trial := 0; trial < 20; trial++ {
+			tr, err := FromDegreeSequence(degs, rng)
+			if err != nil {
+				t.Fatalf("degs %v: %v", degs, err)
+			}
+			for p, want := range degs {
+				if got := tr.Degree(p); got != want {
+					t.Fatalf("degs %v trial %d: process %d has degree %d, want %d",
+						degs, trial, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFromDegreeSequenceRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, degs := range [][]int{
+		nil,
+		{1},
+		{0, 2, 1, 1},    // degree 0
+		{1, 1, 1},       // sum 3 ≠ 4
+		{2, 2, 2},       // sum 6 ≠ 4 (a cycle, not a tree)
+		{3, 3, 1, 1, 1}, // sum 9 ≠ 8
+	} {
+		if _, err := FromDegreeSequence(degs, rng); err == nil {
+			t.Errorf("FromDegreeSequence(%v) accepted an unrealizable sequence", degs)
+		}
+	}
+}
+
+func TestFromDegreeSequenceUniformOverConditionedSet(t *testing.T) {
+	// degs = [1,2,2,1]: the realizing trees are exactly the paths whose
+	// interior is {1,2} — Prüfer sequences (1,2) and (2,1), so 2 trees.
+	rng := rand.New(rand.NewSource(11))
+	seen := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		tr, err := FromDegreeSequence([]int{1, 2, 2, 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[tr.String()]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("sampled %d distinct trees, want the 2 realizations: %v", len(seen), seen)
+	}
+	for sig, count := range seen {
+		if count < 800 { // E[count] = 1000
+			t.Errorf("tree %s sampled only %d/2000 times (uniformity suspect)", sig, count)
+		}
+	}
+}
+
+func TestFromDegreeSequenceDeterministicInSeed(t *testing.T) {
+	degs := []int{3, 2, 1, 1, 2, 2, 2, 1}
+	a, err := FromDegreeSequence(degs, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromDegreeSequence(degs, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("FromDegreeSequence not deterministic in the RNG seed")
+	}
+}

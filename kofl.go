@@ -31,6 +31,7 @@
 package kofl
 
 import (
+	"kofl/internal/adversary"
 	"kofl/internal/campaign"
 	"kofl/internal/core"
 	"kofl/internal/sim"
@@ -185,6 +186,19 @@ type CampaignWorkload = campaign.WorkloadSpec
 // CampaignFaults configures fault injection (arbitrary starts, storm
 // periods) for a campaign.
 type CampaignFaults = campaign.FaultSpec
+
+// CampaignScenario is one column of a campaign's adversary-scenario axis:
+// a built-in scenario by name, or an inline AdversaryScript.
+type CampaignScenario = campaign.ScenarioSpec
+
+// AdversaryScript is a declarative fault scenario: phases × targets ×
+// fault kinds × budgets, compiled to a deterministic per-step fault
+// schedule (see internal/adversary).
+type AdversaryScript = adversary.Script
+
+// ParseAdversaryScript decodes and validates a JSON scenario script
+// (unknown fields and foreign schema versions rejected).
+func ParseAdversaryScript(b []byte) (*AdversaryScript, error) { return adversary.Parse(b) }
 
 // CampaignReport is the order-independent aggregate a campaign produces.
 type CampaignReport = campaign.Report

@@ -44,5 +44,15 @@ done
 grep -q 'campaign pipeline' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the campaign pipeline section"
 grep -q 'koflcampaign merge' internal/campaign/README.md || err "campaign README lost the merge usage"
 
+# The adversary engine's documented surface must still exist: the section,
+# the scenario axis docs, the CLI listing, and the engine symbols.
+grep -q 'adversary engine' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the adversary engine section"
+grep -q 'scenario axis' internal/campaign/README.md || err "campaign README lost the scenario-axis section"
+grep -q 'koflcampaign scenarios' README.md || err "README.md lost the scenarios listing usage"
+for sym in Parse Compile NewExecutor LegacyStorm Builtins; do
+    grep -qr "func $sym(" internal/adversary || err "adversary.$sym gone but documented"
+done
+grep -q 'func FuzzAdversaryScript' internal/adversary/fuzz_test.go || err "FuzzAdversaryScript gone but documented"
+
 [ "$fail" -eq 0 ] && echo "check_docs: OK"
 exit "$fail"
