@@ -243,18 +243,33 @@ func campaignBenchSpec() kofl.CampaignSpec {
 	}
 }
 
-// BenchmarkCampaignSpeedup measures the campaign engine's parallel speedup:
-// the 64-cell standard grid at 1 worker vs 4 workers. It verifies the
-// determinism contract (byte-identical aggregate JSON across worker counts),
-// reports the speedup as a custom metric, and records the numbers in
-// BENCH_campaign.json so the perf trajectory tracks parallel scaling across
-// PRs. On a single-proc runtime 4 workers time-slice one core, so the
-// "speedup" would be a meaningless ~1×: the bench skips instead of recording
-// a degenerate number (the JSON from such a run would poison the perf
+// scalingWorkerCounts returns the benchmark's worker-count curve: 1, 2, 4, …
+// doubling up to max, with max itself always the last point (so a 6-proc
+// runner measures 1, 2, 4, 6).
+func scalingWorkerCounts(max int) []int {
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, max)
+}
+
+// BenchmarkCampaignScaling measures the campaign engine's parallel scaling
+// curve: the 64-cell standard grid at every worker count in {1, 2, 4, …,
+// GOMAXPROCS}. For each point it verifies the determinism contract (the
+// aggregate JSON must be byte-identical to the 1-worker report), computes
+// speedup and parallel efficiency (speedup/workers) against the 1-worker
+// time, and measures allocations per slot on the serial run. The whole curve
+// is recorded in BENCH_campaign.json so the perf trajectory tracks parallel
+// scaling across PRs (scripts/check_bench.sh guards the record). On a
+// single-proc runtime extra workers time-slice one core, so every "speedup"
+// would be a meaningless ~1×: the bench skips instead of recording a
+// degenerate curve (the JSON from such a run would poison the perf
 // trajectory).
-func BenchmarkCampaignSpeedup(b *testing.B) {
-	if runtime.GOMAXPROCS(0) < 2 {
-		b.Skipf("GOMAXPROCS = %d: parallel speedup needs ≥ 2 procs to mean anything; not recording", runtime.GOMAXPROCS(0))
+func BenchmarkCampaignScaling(b *testing.B) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	if maxProcs < 2 {
+		b.Skipf("GOMAXPROCS = %d: parallel scaling needs ≥ 2 procs to mean anything; not recording", maxProcs)
 	}
 	spec := campaignBenchSpec()
 	cells, err := spec.Cells()
@@ -264,57 +279,77 @@ func BenchmarkCampaignSpeedup(b *testing.B) {
 	if len(cells) < 64 {
 		b.Fatalf("bench spec has %d cells, want ≥ 64", len(cells))
 	}
-	var secs1, secs4 float64
+	slots := len(cells) * spec.Seeds.Count
+	type point struct {
+		Workers    int     `json:"workers"`
+		Secs       float64 `json:"secs"`
+		Speedup    float64 `json:"speedup"`
+		Efficiency float64 `json:"efficiency"`
+	}
+	var points []point
+	var allocsPerSlot, bytesPerSlot float64
 	for i := 0; i < b.N; i++ {
-		t0 := time.Now()
-		rep1, err := kofl.RunCampaign(spec, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-		secs1 = time.Since(t0).Seconds()
-
-		t0 = time.Now()
-		rep4, err := kofl.RunCampaign(spec, 4)
-		if err != nil {
-			b.Fatal(err)
-		}
-		secs4 = time.Since(t0).Seconds()
-
-		j1, err := rep1.JSON()
-		if err != nil {
-			b.Fatal(err)
-		}
-		j4, err := rep4.JSON()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !bytes.Equal(j1, j4) {
-			b.Fatal("aggregate JSON differs between 1 and 4 workers")
+		points = points[:0]
+		var refJSON []byte
+		for _, w := range scalingWorkerCounts(maxProcs) {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			rep, err := kofl.RunCampaign(spec, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			secs := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&after)
+			j, err := rep.JSON()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if refJSON == nil {
+				refJSON = j
+			} else if !bytes.Equal(refJSON, j) {
+				b.Fatalf("aggregate JSON differs between 1 and %d workers", w)
+			}
+			if w == 1 {
+				allocsPerSlot = float64(after.Mallocs-before.Mallocs) / float64(slots)
+				bytesPerSlot = float64(after.TotalAlloc-before.TotalAlloc) / float64(slots)
+			}
+			secs1 := secs // the curve's first point is the 1-worker run
+			if len(points) > 0 {
+				secs1 = points[0].Secs
+			}
+			speedup := secs1 / secs
+			points = append(points, point{
+				Workers:    w,
+				Secs:       secs,
+				Speedup:    speedup,
+				Efficiency: speedup / float64(w),
+			})
 		}
 	}
-	speedup := secs1 / secs4
-	b.ReportMetric(speedup, "speedup-4w")
-	b.ReportMetric(secs1, "secs-1w")
-	b.ReportMetric(secs4, "secs-4w")
+	last := points[len(points)-1]
+	b.ReportMetric(last.Speedup, "speedup-maxw")
+	b.ReportMetric(last.Efficiency, "efficiency-maxw")
+	b.ReportMetric(allocsPerSlot, "allocs/slot")
 
 	record := struct {
-		Name       string  `json:"name"`
-		Cells      int     `json:"cells"`
-		RunsPer    int     `json:"runs_per_cell"`
-		Steps      int64   `json:"steps_per_run"`
-		Secs1W     float64 `json:"secs_1_worker"`
-		Secs4W     float64 `json:"secs_4_workers"`
-		Speedup4W  float64 `json:"speedup_4_workers"`
-		GOMAXPROCS int     `json:"gomaxprocs"`
+		Name          string  `json:"name"`
+		Cells         int     `json:"cells"`
+		RunsPer       int     `json:"runs_per_cell"`
+		Steps         int64   `json:"steps_per_run"`
+		GOMAXPROCS    int     `json:"gomaxprocs"`
+		AllocsPerSlot float64 `json:"allocs_per_slot"`
+		BytesPerSlot  float64 `json:"bytes_per_slot"`
+		Points        []point `json:"points"`
 	}{
-		Name:       spec.Name,
-		Cells:      len(cells),
-		RunsPer:    spec.Seeds.Count,
-		Steps:      spec.Steps,
-		Secs1W:     secs1,
-		Secs4W:     secs4,
-		Speedup4W:  speedup,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Name:          spec.Name,
+		Cells:         len(cells),
+		RunsPer:       spec.Seeds.Count,
+		Steps:         spec.Steps,
+		GOMAXPROCS:    maxProcs,
+		AllocsPerSlot: allocsPerSlot,
+		BytesPerSlot:  bytesPerSlot,
+		Points:        points,
 	}
 	out, err := json.MarshalIndent(record, "", "  ")
 	if err != nil {

@@ -225,7 +225,7 @@ func cmdRun(args []string) error {
 	planPath := fs.String("plan", "", "pre-expanded plan JSON file (alternative to -spec)")
 	shard := fs.String("shard", "", "run only shard i/m (requires -partial)")
 	partialOut := fs.String("partial", "", "write the shard's partial report JSON here")
-	workers := fs.Int("workers", 0, "worker goroutines (0 = one per logical CPU)")
+	workers := fs.Int("workers", 0, "worker goroutines claiming slots off a shared queue; report bytes never depend on the count (0 = one per logical CPU)")
 	jsonOut := fs.String("json", "", "write the aggregate report JSON to this file")
 	csvOut := fs.String("csv", "", "write the per-cell aggregate CSV to this file")
 	traceDir := fs.String("trace-dir", "", "directory for captured outlier traces (enables the spec's trace predicate)")
@@ -315,7 +315,7 @@ func cmdMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
 	planPath := fs.String("plan", "", "plan JSON file the partials were executed against (required)")
 	escalate := fs.Bool("escalate", false, "after merging, execute the spec's escalation rounds locally")
-	workers := fs.Int("workers", 0, "worker goroutines for -escalate rounds")
+	workers := fs.Int("workers", 0, "worker goroutines for -escalate rounds; round reports never depend on the count (0 = one per logical CPU)")
 	jsonOut := fs.String("json", "", "write the merged report JSON to this file")
 	csvOut := fs.String("csv", "", "write the per-cell aggregate CSV to this file")
 	traceDir := fs.String("trace-dir", "", "directory for outlier traces captured during -escalate rounds")

@@ -122,7 +122,11 @@ func TestLegacyStormEquivalence(t *testing.T) {
 						Faults:     FaultSpec{ArbitraryStart: seed%2 == 0, StormPeriods: []int64{period}},
 					}.normalized()
 					cell := Cell{Topology: topo, K: 2, L: 3, CMAX: 4, Variant: "full", StormPeriod: period}
-					got := runOne(spec, cell, seed, nil)
+					rt, err := newCellRuntime(spec, cell)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := runOne(spec, cell, rt, seed, newWorkerState(), nil)
 					want := legacyStormRun(spec, cell, seed)
 					if got != want {
 						t.Fatalf("adversary engine diverged from the legacy storm loop:\n  engine: %+v\n  legacy: %+v", got, want)

@@ -15,6 +15,7 @@ import (
 	"kofl/internal/faults"
 	"kofl/internal/message"
 	"kofl/internal/sim"
+	"kofl/internal/tree"
 	"kofl/internal/workload"
 )
 
@@ -147,10 +148,117 @@ func ParsePartial(b []byte) (*Partial, error) {
 	return &pt, nil
 }
 
+// cellRuntime is the immutable per-cell execution context ExecuteShard
+// memoizes before the worker pool starts: the built topology and the
+// compiled fault schedules, shared by every seed slot of the cell (and by
+// every worker — nothing here is mutated during simulation; executors keep
+// their cursor and RNG state in themselves). Historically each slot rebuilt
+// the identical tree and recompiled the identical scripts, which dominated
+// the per-slot setup cost on short runs.
+type cellRuntime struct {
+	tree     *tree.Tree
+	feat     core.Features
+	storm    *adversary.Schedule // legacy storm column; nil when inactive
+	scenario *adversary.Schedule // scenario column; nil when inactive
+}
+
+// newCellRuntime builds the memoized context for one cell. Cells are
+// validated during grid expansion, so errors here indicate a hand-edited
+// plan; they are annotated with the cell label and surfaced, not panicked.
+func newCellRuntime(spec Spec, c Cell) (*cellRuntime, error) {
+	tr, err := c.Topology.Build()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cell %s: %w", c.Label(), err)
+	}
+	feat, err := features(c.Variant)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: cell %s: %w", c.Label(), err)
+	}
+	rt := &cellRuntime{tree: tr, feat: feat}
+	if c.StormPeriod > 0 {
+		rt.storm, err = adversary.Compile(adversary.LegacyStorm(c.StormPeriod), spec.Steps)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: cell %s: %w", c.Label(), err)
+		}
+	}
+	if c.Scenario != "" {
+		script, err := spec.scenarioScript(c.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: cell %s: %w", c.Label(), err)
+		}
+		rt.scenario, err = adversary.Compile(script, spec.Steps)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: cell %s: %w", c.Label(), err)
+		}
+	}
+	return rt, nil
+}
+
+// workerState is the reusable per-worker mutable state: the fault RNG
+// (re-seeded per slot instead of re-allocated), the four monitors (reset and
+// re-attached per slot, retaining their slice capacity), and one workload
+// cycle per process (re-parameterized per slot). With it, a worker's
+// steady-state slot execution allocates only the simulator itself — monitor
+// and workload churn used to be the main source of GC pressure that capped
+// parallel efficiency.
+type workerState struct {
+	faultSrc rand.Source
+	faultRng *rand.Rand
+	mon      *checker.CensusMonitor
+	wait     *checker.Waiting
+	gr       *checker.Grants
+	circ     *checker.Circulations
+	cycles   []*workload.Cycle
+}
+
+func newWorkerState() *workerState {
+	src := rand.NewSource(0)
+	return &workerState{
+		faultSrc: src,
+		faultRng: rand.New(src),
+		mon:      &checker.CensusMonitor{},
+		wait:     &checker.Waiting{},
+		gr:       &checker.Grants{},
+		circ:     &checker.Circulations{},
+	}
+}
+
+// cycle returns the worker's pooled workload cycle for process p, reset to
+// the given fixed parameters.
+func (ws *workerState) cycle(p, need int, hold, think int64) *workload.Cycle {
+	for len(ws.cycles) <= p {
+		ws.cycles = append(ws.cycles, workload.Fixed(0, 0, 0, 0))
+	}
+	c := ws.cycles[p]
+	c.ResetFixed(need, hold, think, 0)
+	return c
+}
+
+// chunkSize picks the dispatch granularity for claiming slots off the shared
+// cursor: small enough that the tail of the slot list still spreads across
+// workers when per-slot costs are skewed (~8 claims per worker), large
+// enough that workers rarely touch the shared counter.
+func chunkSize(slots, workers int) int {
+	c := slots / (workers * 8)
+	if c < 1 {
+		c = 1
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
 // ExecuteShard runs shard i of m of the plan across the worker pool and
 // returns its partial report. Slot results land in slots addressed by the
 // plan's enumeration, so the partial's bytes are identical for any worker
 // count; ExecuteShard(plan, 0, 1, opts) is the whole plan.
+//
+// Dispatch is chunked work-stealing over the slot list: workers claim runs
+// of slots from a shared atomic cursor, so load balances dynamically without
+// a per-slot channel handoff; each worker carries its own reusable state
+// (workerState) and every referenced cell's topology and fault schedules are
+// built once up front (cellRuntime), not once per slot.
 func ExecuteShard(plan *Plan, i, m int, opts Options) (*Partial, error) {
 	slots, err := plan.Shard(i, m)
 	if err != nil {
@@ -165,42 +273,61 @@ func ExecuteShard(plan *Plan, i, m int, opts Options) (*Partial, error) {
 		}
 		hooks = append(append([]SlotHook(nil), hooks...), capture.Hook())
 	}
+	rts := make([]*cellRuntime, len(plan.Cells))
+	for _, slot := range slots {
+		if rts[slot.Cell] != nil {
+			continue
+		}
+		rt, err := newCellRuntime(plan.Spec, plan.Cells[slot.Cell])
+		if err != nil {
+			return nil, err
+		}
+		rts[slot.Cell] = rt
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	results := make([]SlotResult, len(slots))
-	jobs := make(chan int)
-	var done atomic.Int64
+	chunk := int64(chunkSize(len(slots), workers))
+	var cursor, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				slot := slots[j]
-				cell := plan.Cells[slot.Cell]
-				rr := runOne(plan.Spec, cell, slot.Seed, nil)
-				hc := &HookContext{
-					Plan: plan, Slot: slot, Cell: cell, Result: &rr,
-					replay: func(attach func(*sim.Sim)) {
-						runOne(plan.Spec, cell, slot.Seed, attach)
-					},
+			ws := newWorkerState()
+			for {
+				end := cursor.Add(chunk)
+				start := end - chunk
+				if start >= int64(len(slots)) {
+					return
 				}
-				for _, h := range hooks {
-					h(hc)
+				if end > int64(len(slots)) {
+					end = int64(len(slots))
 				}
-				results[j] = SlotResult{Slot: slot.Index, Result: rr}
-				if opts.Progress != nil {
-					opts.Progress(int(done.Add(1)), len(slots))
+				for j := start; j < end; j++ {
+					slot := slots[j]
+					cell := plan.Cells[slot.Cell]
+					rt := rts[slot.Cell]
+					rr := runSlot(plan.Spec, cell, rt, slot, ws, nil)
+					hc := &HookContext{
+						Plan: plan, Slot: slot, Cell: cell, Result: &rr,
+						replay: func(attach func(*sim.Sim)) {
+							runSlot(plan.Spec, cell, rt, slot, ws, attach)
+						},
+					}
+					for _, h := range hooks {
+						h(hc)
+					}
+					results[j] = SlotResult{Slot: slot.Index, Result: rr}
+					if opts.Progress != nil {
+						opts.Progress(int(done.Add(1)), len(slots))
+					}
 				}
 			}
 		}()
 	}
-	for j := range slots {
-		jobs <- j
-	}
-	close(jobs)
 	wg.Wait()
 	if capture != nil {
 		if err := capture.Err(); err != nil {
@@ -218,21 +345,30 @@ func ExecuteShard(plan *Plan, i, m int, opts Options) (*Partial, error) {
 	}, nil
 }
 
-// runOne executes one simulation: a pure function of (spec, cell, seed).
-// attach, when non-nil, is called with the simulator after the initial
-// configuration is established — the point where the engine's own monitors
-// attach — and must not perturb scheduling (observers and step hooks are
-// safe; see the determinism contract).
-func runOne(spec Spec, c Cell, seed int64, attach func(*sim.Sim)) RunResult {
-	tr, err := c.Topology.Build()
-	if err != nil {
-		panic(err) // cells are validated during expansion
-	}
-	feat, err := features(c.Variant)
-	if err != nil {
-		panic(err)
-	}
-	cfg := core.Config{K: c.K, L: c.L, N: tr.N(), CMAX: c.CMAX, Features: feat}
+// runSlot is runOne plus failure context: a panic escaping a worker
+// goroutine kills the whole process, so it is re-raised annotated with the
+// slot index, cell label, and seed — enough to reproduce the failing run
+// with `koflcampaign run -shard`.
+func runSlot(spec Spec, c Cell, rt *cellRuntime, slot Slot, ws *workerState, attach func(*sim.Sim)) RunResult {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(fmt.Sprintf("campaign: slot %d (cell %s, seed %d): %v",
+				slot.Index, c.Label(), slot.Seed, r))
+		}
+	}()
+	return runOne(spec, c, rt, slot.Seed, ws, attach)
+}
+
+// runOne executes one simulation: a pure function of (spec, cell, seed) —
+// rt is derived from (spec, cell) and ws only carries recycled allocations,
+// never state that survives into the next run's results. attach, when
+// non-nil, is called with the simulator after the initial configuration is
+// established — the point where the engine's own monitors attach — and must
+// not perturb scheduling (observers and step hooks are safe; see the
+// determinism contract).
+func runOne(spec Spec, c Cell, rt *cellRuntime, seed int64, ws *workerState, attach func(*sim.Sim)) RunResult {
+	tr := rt.tree
+	cfg := core.Config{K: c.K, L: c.L, N: tr.N(), CMAX: c.CMAX, Features: rt.feat}
 	s := sim.MustNew(tr, cfg, sim.Options{Seed: seed, TimeoutTicks: c.TimeoutTicks})
 	// Establish the true initial configuration (token seeding for
 	// non-controller variants, arbitrary-start faults) BEFORE attaching the
@@ -242,23 +378,27 @@ func runOne(spec Spec, c Cell, seed int64, attach func(*sim.Sim)) RunResult {
 		s.SeedLegitimate()
 	}
 	if spec.Faults.ArbitraryStart {
-		faults.ArbitraryConfiguration(s, rand.New(rand.NewSource(seed+1000)))
+		// Re-seeding the worker's RNG yields the exact draw sequence of the
+		// historical per-slot rand.New(rand.NewSource(seed+1000)).
+		ws.faultSrc.Seed(seed + 1000)
+		faults.ArbitraryConfiguration(s, ws.faultRng)
 	}
 	if attach != nil {
 		attach(s)
 	}
 	// One fused census monitor instead of separate legitimacy/safety/
-	// availability hooks: a single O(n) census per step, not three.
-	mon := checker.NewCensusMonitor(s)
-	wait := checker.NewWaiting(s)
-	gr := checker.NewGrants(s)
-	circ := checker.NewCirculations(s)
+	// availability hooks: a single O(1) census read per step, not three.
+	mon, wait, gr, circ := ws.mon, ws.wait, ws.gr, ws.circ
+	mon.Attach(s)
+	wait.Attach(s)
+	gr.Attach(s)
+	circ.Attach(s)
 	for p := 0; p < tr.N(); p++ {
 		need := spec.Workload.Need
 		if need <= 0 {
 			need = 1 + p%c.K
 		}
-		workload.Attach(s, p, workload.Fixed(need, spec.Workload.Hold, spec.Workload.Think, 0))
+		workload.Attach(s, p, ws.cycle(p, need, spec.Workload.Hold, spec.Workload.Think))
 	}
 
 	// The fault surface runs through the adversary engine: a legacy storm
@@ -268,17 +408,11 @@ func runOne(spec Spec, c Cell, seed int64, attach func(*sim.Sim)) RunResult {
 	// cross — in which case the storm executor fires first each step.
 	var storms int64
 	var execs []*adversary.Executor
-	if c.StormPeriod > 0 {
-		sched := adversary.MustCompile(adversary.LegacyStorm(c.StormPeriod), spec.Steps)
-		execs = append(execs, adversary.MustNewExecutor(s, sched, seed))
+	if rt.storm != nil {
+		execs = append(execs, adversary.MustNewExecutor(s, rt.storm, seed))
 	}
-	if c.Scenario != "" {
-		script, err := spec.scenarioScript(c.Scenario)
-		if err != nil {
-			panic(err) // scenarios are validated during expansion
-		}
-		sched := adversary.MustCompile(script, spec.Steps)
-		execs = append(execs, adversary.MustNewExecutor(s, sched, seed))
+	if rt.scenario != nil {
+		execs = append(execs, adversary.MustNewExecutor(s, rt.scenario, seed))
 	}
 	if len(execs) > 0 {
 		for s.Steps < spec.Steps {

@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"kofl/internal/checker"
+	"kofl/internal/sim"
+)
+
+// TestWorkerCountDeterminismMatrix pins the engine's worker-count contract
+// under the chunked work-stealing dispatcher: with hooks, outlier trace
+// capture, and adaptive seed escalation all active, every worker count must
+// produce byte-identical partials and byte-identical escalated reports. The
+// CI race pass runs this under -race, so the concurrent Progress, SlotHook,
+// and Replay paths are exercised with the race detector watching.
+func TestWorkerCountDeterminismMatrix(t *testing.T) {
+	spec := matrixSpec()
+	spec.Name = "worker-matrix"
+	spec.Steps = 3_000
+	spec.Trace = TraceSpec{WaitingFraction: 0.05, Diverged: true}
+	spec.Escalation = EscalationSpec{Rounds: 1, Factor: 2, CV: 0.3}
+
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+	wantShard := make([][]byte, 2)
+	var wantEsc []byte
+	for _, w := range workerCounts {
+		var hooked, replayed atomic.Int64
+		hook := func(hc *HookContext) {
+			hooked.Add(1)
+			if hc.Slot.Index%5 == 0 {
+				// Replay with benign instrumentation: observers must see the
+				// original run exactly, and the replay must not perturb the
+				// recorded result.
+				before := *hc.Result
+				hc.Replay(func(s *sim.Sim) { checker.NewGrants(s) })
+				replayed.Add(1)
+				if *hc.Result != before {
+					t.Errorf("workers=%d: replay mutated slot %d's result", w, hc.Slot.Index)
+				}
+			}
+		}
+		opts := Options{
+			Workers:  w,
+			Hooks:    []SlotHook{hook},
+			TraceDir: t.TempDir(),
+			Progress: func(done, total int) {},
+		}
+		for sh := 0; sh < 2; sh++ {
+			pt, err := ExecuteShard(plan, sh, 2, opts)
+			if err != nil {
+				t.Fatalf("workers=%d shard %d: %v", w, sh, err)
+			}
+			j, err := pt.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantShard[sh] == nil {
+				wantShard[sh] = j
+			} else if !bytes.Equal(wantShard[sh], j) {
+				t.Fatalf("workers=%d: shard %d partial differs from workers=%d",
+					w, sh, workerCounts[0])
+			}
+		}
+		if got := int(hooked.Load()); got != len(plan.Slots) {
+			t.Fatalf("workers=%d: hook saw %d slots, plan has %d", w, got, len(plan.Slots))
+		}
+		if replayed.Load() == 0 {
+			t.Fatalf("workers=%d: no slot exercised Replay", w)
+		}
+
+		esc, err := RunEscalated(spec, Options{
+			Workers:  w,
+			Hooks:    []SlotHook{hook},
+			TraceDir: t.TempDir(),
+			Progress: func(done, total int) {},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: RunEscalated: %v", w, err)
+		}
+		j, err := esc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantEsc == nil {
+			wantEsc = j
+		} else if !bytes.Equal(wantEsc, j) {
+			t.Fatalf("workers=%d: escalated report differs from workers=%d", w, workerCounts[0])
+		}
+	}
+}
+
+// TestRunSlotPanicAnnotation pins the worker-panic contract: a panic inside
+// a slot's simulation is re-raised annotated with the slot index, cell
+// label, and seed, so a crashed campaign names the failing run.
+func TestRunSlotPanicAnnotation(t *testing.T) {
+	spec := matrixSpec().normalized()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := cells[0]
+	rt, err := newCellRuntime(spec, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic payload %T, want annotated string", r)
+		}
+		for _, want := range []string{"slot 42", cell.Label(), "seed 7", "boom"} {
+			if !bytes.Contains([]byte(msg), []byte(want)) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	slot := Slot{Index: 42, Cell: 0, Seed: 7}
+	runSlot(spec, cell, rt, slot, newWorkerState(), func(s *sim.Sim) { panic("boom") })
+}

@@ -37,10 +37,24 @@ type CensusMonitor struct {
 // NewCensusMonitor attaches a fused census monitor to s. Like
 // NewLegitimacy, it accounts for the initial configuration immediately.
 func NewCensusMonitor(s *sim.Sim) *CensusMonitor {
-	m := &CensusMonitor{s: s, cfg: s.Cfg, lastViolation: -1}
+	m := &CensusMonitor{}
+	m.Attach(s)
+	return m
+}
+
+// Attach (re)binds m to s, first resetting it to the just-constructed state
+// while keeping the violation slice's capacity: campaign workers recycle one
+// monitor across slots, so steady-state runs record violations without
+// allocating. Like NewCensusMonitor, it accounts for the initial
+// configuration immediately.
+func (m *CensusMonitor) Attach(s *sim.Sim) {
+	m.s, m.cfg = s, s.Cfg
+	m.lastViolation = -1
+	m.everCorrect = false
+	m.LegitSteps = 0
+	m.Violations = m.Violations[:0]
 	s.AddStepHook(func(s *sim.Sim) { m.observe(s, true) })
 	m.observe(s, false) // initial configuration: no step to count
-	return m
 }
 
 func (m *CensusMonitor) observe(s *sim.Sim, isStep bool) {

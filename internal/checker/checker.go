@@ -135,17 +135,35 @@ type Waiting struct {
 
 // NewWaiting attaches a waiting-time monitor to s.
 func NewWaiting(s *sim.Sim) *Waiting {
-	n := s.Tree.N()
-	w := &Waiting{
-		pendingAt: make([]int64, n),
-		perProc:   make([]int64, n),
-		samples:   make([]int64, 0, 64),
-	}
-	for p := range w.pendingAt {
-		w.pendingAt[p] = -1
-	}
-	s.AddObserver(w.onEvent)
+	w := &Waiting{}
+	w.Attach(s)
 	return w
+}
+
+// Attach (re)binds w to s, resetting it to the just-constructed state while
+// reusing the per-process and sample slices' capacity — campaign workers
+// recycle one monitor across slots, so only a run observing more samples
+// than any predecessor on the same worker allocates.
+func (w *Waiting) Attach(s *sim.Sim) {
+	n := s.Tree.N()
+	if cap(w.pendingAt) < n || cap(w.perProc) < n {
+		w.pendingAt = make([]int64, n)
+		w.perProc = make([]int64, n)
+	} else {
+		w.pendingAt = w.pendingAt[:n]
+		w.perProc = w.perProc[:n]
+	}
+	for p := 0; p < n; p++ {
+		w.pendingAt[p] = -1
+		w.perProc[p] = 0
+	}
+	if w.samples == nil {
+		w.samples = make([]int64, 0, 64)
+	} else {
+		w.samples = w.samples[:0]
+	}
+	w.totalEnters, w.max = 0, 0
+	s.AddObserver(w.onEvent)
 }
 
 func (w *Waiting) onEvent(e core.Event) {
@@ -204,9 +222,26 @@ type Grants struct {
 
 // NewGrants attaches a grant counter to s.
 func NewGrants(s *sim.Sim) *Grants {
-	g := &Grants{Enters: make([]int64, s.Tree.N()), Exits: make([]int64, s.Tree.N())}
-	s.AddObserver(g.onEvent)
+	g := &Grants{}
+	g.Attach(s)
 	return g
+}
+
+// Attach (re)binds g to s, resetting the counters while reusing the
+// per-process slices' capacity (see Waiting.Attach).
+func (g *Grants) Attach(s *sim.Sim) {
+	n := s.Tree.N()
+	if cap(g.Enters) < n || cap(g.Exits) < n {
+		g.Enters = make([]int64, n)
+		g.Exits = make([]int64, n)
+	} else {
+		g.Enters = g.Enters[:n]
+		g.Exits = g.Exits[:n]
+		for p := 0; p < n; p++ {
+			g.Enters[p], g.Exits[p] = 0, 0
+		}
+	}
+	s.AddObserver(g.onEvent)
 }
 
 func (g *Grants) onEvent(e core.Event) {
@@ -286,8 +321,14 @@ type Circulations struct {
 // NewCirculations attaches a controller monitor to s.
 func NewCirculations(s *sim.Sim) *Circulations {
 	c := &Circulations{}
-	s.AddObserver(c.onEvent)
+	c.Attach(s)
 	return c
+}
+
+// Attach (re)binds c to s, zeroing all counters (see Waiting.Attach).
+func (c *Circulations) Attach(s *sim.Sim) {
+	*c = Circulations{}
+	s.AddObserver(c.onEvent)
 }
 
 func (c *Circulations) onEvent(e core.Event) {

@@ -199,7 +199,9 @@ type SlowPrioScheduler struct {
 	// exist (default 1/64 if 0).
 	Eps float64
 
-	buf []Action // reused enumeration scratch
+	buf     []Action // reused enumeration scratch
+	fastBuf []int    // reused classification scratch
+	slowBuf []int
 }
 
 // NewSlowPrioScheduler returns the Theorem 2 adversary against target.
@@ -223,7 +225,7 @@ func NewSlowPrioScheduler(target int, eps float64) *SlowPrioScheduler {
 func (sp *SlowPrioScheduler) Next(s *Sim, as *ActionSet) Action {
 	sp.buf = as.AppendAll(sp.buf[:0])
 	actions := sp.buf
-	var fast, slow []int
+	fast, slow := sp.fastBuf[:0], sp.slowBuf[:0]
 	for i, a := range actions {
 		if a.Kind == ActDeliver && s.Peek(a).Kind == message.Prio {
 			slow = append(slow, i)
@@ -231,6 +233,7 @@ func (sp *SlowPrioScheduler) Next(s *Sim, as *ActionSet) Action {
 		}
 		fast = append(fast, i)
 	}
+	sp.fastBuf, sp.slowBuf = fast, slow
 	if len(slow) > 0 && (len(fast) == 0 || s.Rand().Float64() < sp.Eps) {
 		return actions[slow[s.Rand().Intn(len(slow))]]
 	}
@@ -251,7 +254,9 @@ func (sp *SlowPrioScheduler) Next(s *Sim, as *ActionSet) Action {
 type AntiTargetScheduler struct {
 	Target int
 
-	buf []Action // reused enumeration scratch
+	buf          []Action // reused enumeration scratch
+	preferredBuf []int    // reused classification scratch
+	neutralBuf   []int
 }
 
 // NewAntiTargetScheduler returns an adversary against process target.
@@ -265,7 +270,7 @@ func (at *AntiTargetScheduler) Next(s *Sim, as *ActionSet) Action {
 	actions := at.buf
 	node := s.Nodes[at.Target]
 	starving := node.State().String() == "Req" && node.Reserved() < node.Need()
-	var preferred, neutral []int
+	preferred, neutral := at.preferredBuf[:0], at.neutralBuf[:0]
 	for i, a := range actions {
 		switch {
 		case a.Kind == ActDeliver && a.Proc == at.Target:
@@ -283,6 +288,7 @@ func (at *AntiTargetScheduler) Next(s *Sim, as *ActionSet) Action {
 			neutral = append(neutral, i)
 		}
 	}
+	at.preferredBuf, at.neutralBuf = preferred, neutral
 	if len(preferred) > 0 {
 		return actions[preferred[s.Rand().Intn(len(preferred))]]
 	}

@@ -174,8 +174,16 @@ func NewHistogram(width int64) *Histogram {
 	return &Histogram{Width: width, Buckets: map[int64]int64{}}
 }
 
-// Add records one sample.
-func (h *Histogram) Add(v int64) { h.Buckets[v/h.Width]++ }
+// Add records one sample. The bucket index is the floor of v/Width, so a
+// negative sample lands in the bucket whose rendered range contains it
+// (truncating division would fold e.g. -3 at width 4 into the 0..3 bucket).
+func (h *Histogram) Add(v int64) {
+	b := v / h.Width
+	if v < 0 && v%h.Width != 0 {
+		b--
+	}
+	h.Buckets[b]++
+}
 
 // String renders the buckets in ascending order as "lo..hi:count".
 func (h *Histogram) String() string {

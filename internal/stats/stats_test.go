@@ -177,3 +177,24 @@ func TestDescribeStddevAndCV(t *testing.T) {
 		t.Errorf("zero mean: cv=%f, want 0", d.CV())
 	}
 }
+
+func TestHistogramNegativeSamples(t *testing.T) {
+	h := NewHistogram(4)
+	// Floor division: -3 belongs to the -4..-1 bucket, not 0..3 (truncating
+	// division used to fold it in with the non-negative samples).
+	for _, v := range []int64{-3, -1, -4, -5, 0, 3, 4} {
+		h.Add(v)
+	}
+	want := map[int64]int64{-2: 1, -1: 3, 0: 2, 1: 1}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", h.Buckets, want)
+	}
+	for k, n := range want {
+		if h.Buckets[k] != n {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", k, h.Buckets[k], n, h.Buckets)
+		}
+	}
+	if got, want := h.String(), "-8..-5:1 -4..-1:3 0..3:2 4..7:1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -48,6 +48,14 @@ type Cycle struct {
 	// where processes START in the Req state).
 	MaxRequests int
 
+	// Fixed-cycle parameters: Fixed builds closures that read these fields
+	// through the receiver, so ResetFixed can re-parameterize a Cycle in
+	// place (fixed marks cycles built that way).
+	fixed      bool
+	fixedNeed  int
+	fixedHold  int64
+	fixedThink int64
+
 	clock     func() int64
 	phase     Phase
 	requests  int
@@ -77,11 +85,35 @@ func NewCycle(needFn func(int) int, holdFn, thinkFn func(int) int64, maxRequests
 }
 
 // Fixed returns a Cycle that always requests need units, holds for hold
-// steps and thinks for think steps between requests.
+// steps and thinks for think steps between requests. The parameters live in
+// fields the closures read through the receiver, so ResetFixed can recycle
+// the Cycle — struct and closures — for a different configuration.
 func Fixed(need int, hold, think int64, maxRequests int) *Cycle {
-	return NewCycle(func(int) int { return need },
-		func(int) int64 { return hold },
-		func(int) int64 { return think }, maxRequests)
+	c := &Cycle{fixed: true}
+	c.NeedFn = func(int) int { return c.fixedNeed }
+	c.HoldFn = func(int) int64 { return c.fixedHold }
+	c.ThinkFn = func(int) int64 { return c.fixedThink }
+	c.ResetFixed(need, hold, think, maxRequests)
+	return c
+}
+
+// ResetFixed returns a Fixed cycle to its just-constructed state under new
+// parameters, reusing the struct and closure allocations — the campaign
+// engine's workers recycle one Cycle per process across slots. It panics on
+// cycles not built by Fixed, whose closures would silently ignore the new
+// parameters.
+func (c *Cycle) ResetFixed(need int, hold, think int64, maxRequests int) {
+	if !c.fixed {
+		panic("workload: ResetFixed on a cycle not built by Fixed")
+	}
+	c.fixedNeed, c.fixedHold, c.fixedThink = need, hold, think
+	c.MaxRequests = maxRequests
+	c.clock = nil
+	c.phase = Idle
+	c.requests = 0
+	c.enteredAt, c.holdUntil, c.readyAt = 0, 0, 0
+	c.inCS, c.csOver = false, false
+	c.Grants, c.Issued, c.Enters, c.LastEnter = 0, 0, 0, 0
 }
 
 // Uniform returns a Cycle requesting uniformly in [1..maxNeed] units with

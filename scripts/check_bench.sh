@@ -1,0 +1,51 @@
+#!/bin/sh
+# check_bench.sh — fail CI if a recorded benchmark JSON is degenerate or
+# regressed. Two guards, cheap greps like check_docs.sh:
+#
+#  1. No parallel-bench record may be captured at GOMAXPROCS < 2. A
+#     single-proc run time-slices its workers on one core, so the recorded
+#     "speedup" is a meaningless ~1× that poisons the perf trajectory (this
+#     repo shipped exactly such a record once: speedup_4_workers = 0.99 at
+#     gomaxprocs = 1). A parallel record is any BENCH_*.json mentioning
+#     speedup; BENCH_step/BENCH_census record single-threaded kernel ratios
+#     whose "speedup" fields are scan-vs-incremental, not worker scaling, so
+#     only files that also record worker counts are held to the floor.
+#  2. The campaign record's allocations per slot must stay under a fixed
+#     ceiling. Steady-state slot execution is near-zero-allocation (worker
+#     state is pooled); per-slot cost is simulator construction, ~2.9k allocs
+#     at the standard 64-cell grid. A per-step allocation regression
+#     multiplies the number by the 10k steps per slot, so a generous ceiling
+#     still catches it instantly.
+set -eu
+cd "$(dirname "$0")/.."
+
+ALLOC_CEILING=4000
+
+fail=0
+err() { echo "check_bench: $*" >&2; fail=1; }
+
+# jnum FILE KEY — extract a top-level numeric JSON field.
+jnum() {
+    sed -n "s/^.*\"$2\": *\(-\{0,1\}[0-9][0-9.e+-]*\).*$/\1/p" "$1" | head -n 1
+}
+
+for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    grep -q '"workers"' "$f" || continue # not a parallel-scaling record
+    gmp=$(jnum "$f" gomaxprocs)
+    [ -n "$gmp" ] || { err "$f: no gomaxprocs field"; continue; }
+    [ "${gmp%.*}" -ge 2 ] || err "$f: degenerate parallel record captured at gomaxprocs=$gmp (need >= 2)"
+done
+
+if [ -f BENCH_campaign.json ]; then
+    grep -q '"points"' BENCH_campaign.json || err "BENCH_campaign.json: old schema (no scaling-curve points)"
+    aps=$(jnum BENCH_campaign.json allocs_per_slot)
+    if [ -z "$aps" ]; then
+        err "BENCH_campaign.json: no allocs_per_slot field"
+    elif [ "${aps%.*}" -gt "$ALLOC_CEILING" ]; then
+        err "BENCH_campaign.json: $aps allocs/slot exceeds ceiling $ALLOC_CEILING (per-step allocation regression?)"
+    fi
+fi
+
+[ "$fail" -eq 0 ] && echo "check_bench: OK"
+exit "$fail"

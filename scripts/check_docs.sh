@@ -30,6 +30,16 @@ done
 # benchmark functions.
 grep -q 'func BenchmarkStepThroughput' bench_test.go || err "BenchmarkStepThroughput gone but documented"
 grep -q 'func BenchmarkCensusThroughput' bench_test.go || err "BenchmarkCensusThroughput gone but documented"
+grep -q 'func BenchmarkCampaignScaling' bench_test.go || err "BenchmarkCampaignScaling gone but documented"
+# (ISSUE.md/CHANGES.md are historical records and may name the old bench.)
+grep -rq 'BenchmarkCampaignSpeedup' README.md docs internal/campaign/README.md .github && err "stale BenchmarkCampaignSpeedup reference (replaced by BenchmarkCampaignScaling)" || true
+
+# The worker model is documented in both the campaign README and the
+# architecture doc, and its bench-record guard must exist and be executable.
+grep -q 'Worker model and parallel scaling' internal/campaign/README.md || err "campaign README lost the worker-model section"
+grep -q 'The worker model' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the worker-model section"
+grep -q 'parallel efficiency' docs/ARCHITECTURE.md || err "ARCHITECTURE.md no longer explains parallel efficiency"
+[ -x scripts/check_bench.sh ] || err "scripts/check_bench.sh missing or not executable"
 
 # ARCHITECTURE.md documents the two oracle options; they must still exist.
 grep -q 'FullRescan' internal/sim/sim.go || err "sim.Options.FullRescan gone but documented"
