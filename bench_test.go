@@ -552,6 +552,95 @@ func BenchmarkCensusThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkBigNScale charts the big-n scaling curve of the struct-of-arrays
+// kernel: steps/sec, resident bytes/process and allocations/step on
+// Prüfer-uniform random trees at n ∈ {2¹⁰, 2¹², 2¹⁴, 2¹⁶, 2²⁰} under the
+// standard saturated full-protocol workload. Build time and memory are
+// measured around construction (GC-fenced heap delta); the step rate over a
+// measured window after warming into steady churn; allocations from the
+// Mallocs delta across the measured window — the recorded proof that
+// steady-state stepping does not touch the heap at any size. The curve is
+// recorded in BENCH_scale.json (scripts/check_bench.sh guards the schema:
+// the n=2¹⁶ point must be present and no point may allocate per step).
+func BenchmarkBigNScale(b *testing.B) {
+	type entry struct {
+		N             int     `json:"n"`
+		Topology      string  `json:"topology"`
+		BuildSecs     float64 `json:"build_secs"`
+		BytesPerProc  float64 `json:"bytes_per_process"`
+		StepsPerSec   float64 `json:"steps_per_sec"`
+		AllocsPerStep float64 `json:"allocs_per_step"`
+	}
+	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 20}
+	if testing.Short() {
+		sizes = sizes[:3]
+	}
+	var entries []entry
+	for i := 0; i < b.N; i++ {
+		entries = entries[:0]
+		for _, n := range sizes {
+			tr := tree.Prufer(n, rand.New(rand.NewSource(42)))
+			cfg := core.Config{K: 2, L: 8, N: n, CMAX: 4, Features: core.Full()}
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+			for p := 0; p < n; p++ {
+				workload.Attach(s, p, workload.Fixed(1+p%2, 2, 4, 0))
+			}
+			buildSecs := time.Since(t0).Seconds()
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			bytesPerProc := float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+
+			// Warm past convergence into steady churn: a few virtual-ring
+			// laps, floored so small trees still mix.
+			warm := int64(max(8*n, 50_000))
+			measure := int64(max(2*n, 30_000))
+			s.Run(warm)
+			runtime.ReadMemStats(&before)
+			t0 = time.Now()
+			done := s.Run(measure)
+			secs := time.Since(t0).Seconds()
+			runtime.ReadMemStats(&after)
+
+			entries = append(entries, entry{
+				N:             n,
+				Topology:      "prufer",
+				BuildSecs:     buildSecs,
+				BytesPerProc:  bytesPerProc,
+				StepsPerSec:   float64(done) / secs,
+				AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(done),
+			})
+		}
+	}
+	last := entries[len(entries)-1]
+	b.ReportMetric(last.StepsPerSec, "steps/s-maxn")
+	b.ReportMetric(last.BytesPerProc, "B/proc-maxn")
+	b.ReportMetric(last.AllocsPerStep, "allocs/step-maxn")
+	if testing.Short() {
+		return // partial curve: don't overwrite the recorded file
+	}
+	record := struct {
+		Name       string  `json:"name"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Entries    []entry `json:"entries"`
+	}{
+		Name:       "BENCH-bign-scale",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Entries:    entries,
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSimStep is the kernel micro-benchmark: one scheduler step of the
 // full protocol under load on the paper tree.
 func BenchmarkSimStep(b *testing.B) {

@@ -5,6 +5,18 @@
 // stop), but may initially contain up to CMAX arbitrary messages — the
 // assumption the paper needs for a bounded-memory self-stabilizing solution
 // (Gouda & Multari).
+//
+// # Memory model
+//
+// In-transit messages live in a power-of-two ring buffer (head index plus
+// count, wrap by masking). The ring is allocated lazily on the first message,
+// grows by doubling when full, and is explicitly reclaimed: when a channel
+// drains empty and its ring has grown beyond reclaimCap, the buffer is
+// released — back to the shared Arena when one is attached, to the garbage
+// collector otherwise. A channel therefore never pins more than reclaimCap
+// frames across an empty spell, and a simulator-owned channel recycles every
+// buffer it ever grew. Steady-state traffic (bounded token populations) stays
+// far below reclaimCap, so the hot path neither allocates nor copies.
 package channel
 
 import (
@@ -13,17 +25,52 @@ import (
 	"kofl/internal/message"
 )
 
+// Counts aggregates the in-transit message populations of every channel that
+// shares it, by kind, plus the reset-flagged controller count. Channels
+// maintain an attached Counts inline on every mutation — the bulk-census
+// counterpart of the per-message OnMessage hook, without a callback per
+// message. Kinds outside the protocol's four (initial channel garbage) are
+// not counted, exactly as the census snapshot scan ignores them.
+type Counts struct {
+	Kinds     [8]int64 // by message.Kind; only Res..Ctrl (1..4) are used
+	ResetCtrl int64    // ctrl messages in transit with R set
+}
+
+func (ct *Counts) apply(m message.Message, delta int64) {
+	if !m.Kind.Valid() {
+		return
+	}
+	// Valid() bounds Kind to 1..4; the &7 erases the bounds check.
+	ct.Kinds[m.Kind&7] += delta
+	if m.Kind == message.Ctrl && m.R {
+		ct.ResetCtrl += delta
+	}
+}
+
+const (
+	// minBufCap is the smallest ring ever allocated.
+	minBufCap = 4
+	// reclaimCap is the largest ring a drained channel keeps. Anything
+	// bigger was burst growth and is released the moment the channel empties.
+	reclaimCap = 64
+)
+
 // Channel is one directed FIFO channel.
 type Channel struct {
 	// From/To identify the directed edge; FromCh/ToCh are the channel labels
 	// at the sender resp. receiver.
 	From, FromCh, To, ToCh int
 
-	queue []message.Message
-	head  int
+	buf   []message.Message // power-of-two ring; nil until the first message
+	head  uint32            // index of the head message (always < len(buf))
+	count uint32            // messages in transit
 
 	notify    func(nonempty bool)
+	tagged    func(tag int32, nonempty bool)
+	tag       int32
 	onMessage func(m message.Message, delta int)
+	counts    *Counts
+	arena     *Arena
 
 	// Stats.
 	Sent      int // messages ever enqueued (excluding initial garbage)
@@ -39,24 +86,55 @@ type Channel struct {
 // one observer is supported; registering replaces the previous one.
 func (c *Channel) OnEmptiness(f func(nonempty bool)) { c.notify = f }
 
+// OnEmptinessTagged is OnEmptiness for callers owning many channels: the hook
+// receives the registered tag, so one shared closure serves every channel
+// instead of one captured closure per channel. The transition contract is
+// identical; both hooks fire when both are registered.
+func (c *Channel) OnEmptinessTagged(f func(tag int32, nonempty bool), tag int32) {
+	c.tagged, c.tag = f, tag
+}
+
 // OnMessage registers f to be called with (m, +1) whenever a message enters
 // the channel (Push, Seed, the kept messages of a Replace) and with (m, -1)
 // whenever one leaves it (Pop, the discarded messages of a Replace). Where
 // OnEmptiness reports the 0↔nonzero transitions the scheduler needs, this
-// hook reports the full content delta, which is what lets the simulator
-// maintain its global token census incrementally instead of snapshotting
-// every channel every step. At most one observer is supported; registering
-// replaces the previous one.
+// hook reports the full content delta. At most one observer is supported;
+// registering replaces the previous one. Callers that only need per-kind
+// population totals should attach a shared Counts instead (SetCounts), which
+// the channel maintains without a callback per message.
 func (c *Channel) OnMessage(f func(m message.Message, delta int)) { c.onMessage = f }
 
-// notifyTransition fires the emptiness hook when the length moved across
+// SetCounts attaches the shared population counter the channel maintains
+// inline on every content change (nil detaches). The deltas applied are
+// exactly those the OnMessage hook would report.
+func (c *Channel) SetCounts(ct *Counts) { c.counts = ct }
+
+// SetArena attaches the buffer arena ring storage is drawn from and released
+// to (nil detaches; buffers then come from the regular allocator).
+func (c *Channel) SetArena(a *Arena) { c.arena = a }
+
+// account applies one content delta to the attached Counts and OnMessage hook.
+func (c *Channel) account(m message.Message, delta int) {
+	if c.counts != nil {
+		c.counts.apply(m, int64(delta))
+	}
+	if c.onMessage != nil {
+		c.onMessage(m, delta)
+	}
+}
+
+// notifyTransition fires the emptiness hooks when the length moved across
 // zero. wasEmpty is the emptiness before the mutation.
 func (c *Channel) notifyTransition(wasEmpty bool) {
-	if c.notify == nil {
+	isEmpty := c.count == 0
+	if isEmpty == wasEmpty {
 		return
 	}
-	if isEmpty := c.Len() == 0; isEmpty != wasEmpty {
+	if c.notify != nil {
 		c.notify(!isEmpty)
+	}
+	if c.tagged != nil {
+		c.tagged(c.tag, !isEmpty)
 	}
 }
 
@@ -66,15 +144,75 @@ func New(from, fromCh, to, toCh int) *Channel {
 }
 
 // Len returns the number of messages currently in transit.
-func (c *Channel) Len() int { return len(c.queue) - c.head }
+func (c *Channel) Len() int { return int(c.count) }
+
+// Cap returns the current ring capacity (0 before the first message). The
+// capacity is always a power of two; it grows by doubling and is reclaimed
+// down to at most reclaimCap when the channel drains.
+func (c *Channel) Cap() int { return len(c.buf) }
+
+// allocBuf returns a zeroed-length ring of exactly n frames (n a power of
+// two), from the arena when one is attached.
+func (c *Channel) allocBuf(n int) []message.Message {
+	if c.arena != nil {
+		return c.arena.alloc(n)
+	}
+	return make([]message.Message, n)
+}
+
+// releaseBuf hands the current ring back to the arena (or the GC) and leaves
+// the channel bufferless.
+func (c *Channel) releaseBuf() {
+	if c.arena != nil && c.buf != nil {
+		c.arena.release(c.buf)
+	}
+	c.buf = nil
+}
+
+// grow re-linearizes the ring into a fresh buffer of capacity ≥ need.
+func (c *Channel) grow(need int) {
+	newCap := minBufCap
+	for newCap < need {
+		newCap <<= 1
+	}
+	nb := c.allocBuf(newCap)
+	c.copyInto(nb)
+	c.releaseBuf()
+	c.buf = nb
+	c.head = 0
+}
+
+// copyInto copies the in-transit messages, head first, into dst (which must
+// hold at least count frames).
+func (c *Channel) copyInto(dst []message.Message) {
+	if c.count == 0 {
+		return
+	}
+	n := copy(dst, c.buf[c.head:])
+	if int(c.count) > n {
+		copy(dst[n:], c.buf[:int(c.count)-n])
+	}
+}
+
+// enqueue appends m at the tail, growing the ring if full.
+func (c *Channel) enqueue(m message.Message) {
+	if int(c.count) == len(c.buf) {
+		c.grow(int(c.count) + 1)
+	}
+	c.buf[(c.head+c.count)&uint32(len(c.buf)-1)] = m
+	c.count++
+	if d := int(c.count); d > c.MaxDepth {
+		c.MaxDepth = d
+	}
+}
 
 // Push enqueues m at the tail.
 func (c *Channel) Push(m message.Message) {
-	wasEmpty := c.Len() == 0
-	c.queue = append(c.queue, m)
+	wasEmpty := c.count == 0
+	c.enqueue(m)
 	c.Sent++
-	if d := c.Len(); d > c.MaxDepth {
-		c.MaxDepth = d
+	if ct := c.counts; ct != nil {
+		ct.apply(m, +1)
 	}
 	if c.onMessage != nil {
 		c.onMessage(m, +1)
@@ -85,35 +223,33 @@ func (c *Channel) Push(m message.Message) {
 // Seed enqueues m without counting it as sent; used for initial-configuration
 // garbage and for seeding the non-self-stabilizing variants with tokens.
 func (c *Channel) Seed(m message.Message) {
-	wasEmpty := c.Len() == 0
-	c.queue = append(c.queue, m)
-	if d := c.Len(); d > c.MaxDepth {
-		c.MaxDepth = d
-	}
-	if c.onMessage != nil {
-		c.onMessage(m, +1)
-	}
+	wasEmpty := c.count == 0
+	c.enqueue(m)
+	c.account(m, +1)
 	c.notifyTransition(wasEmpty)
 }
 
 // Pop dequeues the head message. It panics on an empty channel; callers must
 // check Len first (the simulator only schedules non-empty channels).
 func (c *Channel) Pop() message.Message {
-	if c.Len() == 0 {
+	if c.count == 0 {
 		panic(fmt.Sprintf("channel %d->%d: pop on empty channel", c.From, c.To))
 	}
-	m := c.queue[c.head]
-	c.head++
+	m := c.buf[c.head]
+	c.head = (c.head + 1) & uint32(len(c.buf)-1)
+	c.count--
 	c.Delivered++
+	if ct := c.counts; ct != nil {
+		ct.apply(m, -1)
+	}
 	if c.onMessage != nil {
 		c.onMessage(m, -1)
 	}
-	// Compact once the consumed prefix dominates, keeping Pop amortized O(1)
-	// without unbounded growth.
-	if c.head > 64 && c.head*2 >= len(c.queue) {
-		n := copy(c.queue, c.queue[c.head:])
-		c.queue = c.queue[:n]
+	if c.count == 0 {
 		c.head = 0
+		if len(c.buf) > reclaimCap {
+			c.releaseBuf()
+		}
 	}
 	c.notifyTransition(false)
 	return m
@@ -121,39 +257,49 @@ func (c *Channel) Pop() message.Message {
 
 // Peek returns the head message without consuming it.
 func (c *Channel) Peek() message.Message {
-	if c.Len() == 0 {
+	if c.count == 0 {
 		panic(fmt.Sprintf("channel %d->%d: peek on empty channel", c.From, c.To))
 	}
-	return c.queue[c.head]
+	return c.buf[c.head]
 }
 
 // Snapshot returns a copy of the in-transit messages, head first.
 func (c *Channel) Snapshot() []message.Message {
-	out := make([]message.Message, c.Len())
-	copy(out, c.queue[c.head:])
+	out := make([]message.Message, c.count)
+	c.copyInto(out)
 	return out
 }
 
 // Replace overwrites the in-transit contents with msgs (head first). Used by
 // fault injectors to corrupt, drop or duplicate in-flight messages; the
-// emptiness hook keeps the simulator's enabled-action set — and the message
-// hook its maintained token census — in sync even for such out-of-band
-// mutations (the discarded contents are reported as (m, -1) deltas, the new
-// contents as (m, +1)).
+// emptiness hook keeps the simulator's enabled-action set — and the attached
+// Counts / message hook its maintained token census — in sync even for such
+// out-of-band mutations (the discarded contents are reported as (m, -1)
+// deltas, the new contents as (m, +1)).
 func (c *Channel) Replace(msgs []message.Message) {
-	wasEmpty := c.Len() == 0
-	if c.onMessage != nil {
-		for _, m := range c.queue[c.head:] {
-			c.onMessage(m, -1)
+	wasEmpty := c.count == 0
+	if c.counts != nil || c.onMessage != nil {
+		for i := uint32(0); i < c.count; i++ {
+			c.account(c.buf[(c.head+i)&uint32(len(c.buf)-1)], -1)
 		}
 		for _, m := range msgs {
-			c.onMessage(m, +1)
+			c.account(m, +1)
 		}
 	}
-	c.queue = append(c.queue[:0], msgs...)
+	if len(msgs) > len(c.buf) {
+		// Fresh buffer without re-linearizing: the contents are discarded.
+		c.head, c.count = 0, 0
+		c.releaseBuf()
+		c.grow(len(msgs))
+	}
 	c.head = 0
-	if d := c.Len(); d > c.MaxDepth {
+	c.count = uint32(len(msgs))
+	copy(c.buf, msgs)
+	if d := int(c.count); d > c.MaxDepth {
 		c.MaxDepth = d
+	}
+	if c.count == 0 && len(c.buf) > reclaimCap {
+		c.releaseBuf()
 	}
 	c.notifyTransition(wasEmpty)
 }
@@ -161,8 +307,8 @@ func (c *Channel) Replace(msgs []message.Message) {
 // Count returns the number of in-transit messages of the given kind.
 func (c *Channel) Count(k message.Kind) int {
 	n := 0
-	for _, m := range c.queue[c.head:] {
-		if m.Kind == k {
+	for i := uint32(0); i < c.count; i++ {
+		if c.buf[(c.head+i)&uint32(len(c.buf)-1)].Kind == k {
 			n++
 		}
 	}

@@ -22,40 +22,41 @@ func (n *Node) receiveCtrl(env Env, q int, m message.Message) {
 // memory) and either tops up missing tokens or flags a reset traversal that
 // erases every token before recreating exactly (ℓ, 1, 1).
 func (n *Node) rootCtrl(env Env, q int, m message.Message) {
-	if q != n.succ || m.C != n.myC {
+	v, i := n.vars, n.idx
+	if int32(q) != v.succ[i] || m.C != v.myC[i] {
 		return // invalid: ignore, do not retransmit
 	}
-	pt, ppr := m.PT, m.PPr
-	if !n.cfg.Errata.PaperCountOrder {
+	pt, ppr := int(m.PT), int(m.PPr)
+	if !v.cfg.Errata.PaperCountOrder {
 		// Corrected order (DESIGN.md erratum E2): tokens parked at the root
 		// are accounted to the traversal that is about to complete, so each
 		// token is counted exactly once per circulation.
 		pt, ppr = n.accumulate(pt, ppr, q)
 	}
-	n.succ = (n.succ + 1) % n.deg
-	if n.succ == 0 {
+	v.succ[i] = (v.succ[i] + 1) % n.deg
+	if v.succ[i] == 0 {
 		// End of traversal (Algorithm 1 lines 45-68).
-		n.myC = (n.myC + 1) % n.cfg.CounterMod()
-		resCount := pt + n.stoken
-		prioCount := ppr + n.sprio
-		pushCount := n.spush
-		n.reset = resCount > n.cfg.L || prioCount > 1 || pushCount > 1
-		n.emit(Event{Kind: EvCirculation, N1: resCount, N2: prioCount, N3: pushCount, Flag: n.reset})
-		if n.reset {
-			n.rset = n.rset[:0]
-			n.prio = NoPrio
+		v.myC[i] = (v.myC[i] + 1) % v.cmod
+		resCount := pt + int(v.stoken)
+		prioCount := ppr + int(v.sprio)
+		pushCount := int(v.spush)
+		v.reset = resCount > v.cfg.L || prioCount > 1 || pushCount > 1
+		n.emit(Event{Kind: EvCirculation, N1: resCount, N2: prioCount, N3: pushCount, Flag: v.reset})
+		if v.reset {
+			n.rsetClear()
+			v.prio[i] = NoPrio
 		} else {
 			createdRes, createdPrio, createdPush := 0, 0, 0
-			if prioCount < 1 && n.cfg.Features.Priority {
+			if prioCount < 1 && v.cfg.Features.Priority {
 				env.Send(0, message.NewPrio())
 				createdPrio = 1
 			}
-			for pt+n.stoken < n.cfg.L {
+			for pt+int(v.stoken) < v.cfg.L {
 				env.Send(0, message.NewRes())
-				n.stoken = min(n.stoken+1, n.cfg.L+1)
+				v.stoken = int32(min(int(v.stoken)+1, v.cfg.L+1))
 				createdRes++
 			}
-			if pushCount < 1 && n.cfg.Features.Pusher {
+			if pushCount < 1 && v.cfg.Features.Pusher {
 				env.Send(0, message.NewPush())
 				createdPush = 1
 			}
@@ -63,14 +64,14 @@ func (n *Node) rootCtrl(env Env, q int, m message.Message) {
 				n.emit(Event{Kind: EvCreate, N1: createdRes, N2: createdPrio, N3: createdPush})
 			}
 		}
-		n.stoken, n.sprio, n.spush = 0, 0, 0
+		v.stoken, v.sprio, v.spush = 0, 0, 0
 		pt, ppr = 0, 0
 	}
-	if n.cfg.Errata.PaperCountOrder {
+	if v.cfg.Errata.PaperCountOrder {
 		// Paper order: accumulate after the completion block (lines 69-72).
 		pt, ppr = n.accumulate(pt, ppr, q)
 	}
-	env.Send(n.succ, message.NewCtrl(n.myC, n.reset, pt, ppr))
+	env.Send(int(v.succ[i]), message.NewCtrl(v.myC[i], v.reset, pt, ppr))
 	env.RestartTimer()
 }
 
@@ -78,8 +79,8 @@ func (n *Node) rootCtrl(env Env, q int, m message.Message) {
 // reserved resource tokens that arrived from channel q and a held priority
 // token that arrived from q — into the saturating counters.
 func (n *Node) accumulate(pt, ppr, q int) (int, int) {
-	pt = min(pt+n.multiplicity(q), n.cfg.L+1)
-	if n.prio == q {
+	pt = min(pt+n.multiplicity(q), n.vars.cfg.L+1)
+	if int(n.vars.prio[n.idx]) == q {
 		ppr = min(ppr+1, 2)
 	}
 	return pt, ppr
@@ -92,9 +93,10 @@ func (n *Node) accumulate(pt, ppr, q int) (int, int) {
 // an unchanged flag is retransmitted without processing "to prevent
 // deadlock"; everything else is dropped.
 func (n *Node) nodeCtrl(env Env, q int, m message.Message) {
+	v, i := n.vars, n.idx
 	ok := false
-	if q == n.succ && m.C == n.myC && n.succ != 0 {
-		n.succ = (n.succ + 1) % n.deg
+	if int32(q) == v.succ[i] && m.C == v.myC[i] && v.succ[i] != 0 {
+		v.succ[i] = (v.succ[i] + 1) % n.deg
 		ok = true
 		if m.R {
 			n.applyReset()
@@ -102,28 +104,29 @@ func (n *Node) nodeCtrl(env Env, q int, m message.Message) {
 	}
 	if q == 0 {
 		ok = true
-		if m.C != n.myC {
-			n.succ = min(1, n.deg-1)
+		if m.C != v.myC[i] {
+			v.succ[i] = int32(min(1, int(n.deg)-1))
 			if m.R {
 				n.applyReset()
 			}
 		}
-		n.myC = m.C
+		v.myC[i] = m.C
 	}
 	if ok {
-		pt, ppr := n.accumulate(m.PT, m.PPr, q)
-		env.Send(n.succ, message.NewCtrl(n.myC, m.R, pt, ppr))
+		pt, ppr := n.accumulate(int(m.PT), int(m.PPr), q)
+		env.Send(int(v.succ[i]), message.NewCtrl(v.myC[i], m.R, pt, ppr))
 	}
 }
 
 // applyReset erases the process's reservations and priority hold when
 // visited by a reset-flagged controller.
 func (n *Node) applyReset() {
-	if len(n.rset) > 0 {
-		n.emit(Event{Kind: EvEvict, N1: len(n.rset)})
+	v, i := n.vars, n.idx
+	if v.rlen[i] > 0 {
+		n.emit(Event{Kind: EvEvict, N1: int(v.rlen[i])})
 	}
-	n.rset = n.rset[:0]
-	n.prio = NoPrio
+	n.rsetClear()
+	v.prio[i] = NoPrio
 }
 
 // HandleTimeout implements the root's retransmission (Algorithm 1 lines
@@ -132,10 +135,11 @@ func (n *Node) applyReset() {
 // absorbs the duplicates this may create. No-op at non-roots and in
 // variants without the controller.
 func (n *Node) HandleTimeout(env Env) {
-	if !n.isRoot || !n.cfg.Features.Controller {
+	if !n.isRoot || !n.vars.cfg.Features.Controller {
 		return
 	}
 	n.emit(Event{Kind: EvTimeout})
-	env.Send(n.succ, message.NewCtrl(n.myC, n.reset, 0, 0))
+	v, i := n.vars, n.idx
+	env.Send(int(v.succ[i]), message.NewCtrl(v.myC[i], v.reset, 0, 0))
 	env.RestartTimer()
 }

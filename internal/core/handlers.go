@@ -10,7 +10,7 @@ import (
 // incoming channel with label q. It implements the per-channel receive
 // actions of Algorithms 1 and 2, followed by the bottom half of the loop.
 func (n *Node) HandleMessage(q int, m message.Message, env Env) {
-	if q < 0 || q >= n.deg {
+	if q < 0 || q >= int(n.deg) {
 		panic(fmt.Sprintf("core: process %d: message on channel %d of %d", n.id, q, n.deg))
 	}
 	switch m.Kind {
@@ -23,7 +23,7 @@ func (n *Node) HandleMessage(q int, m message.Message, env Env) {
 	case message.Ctrl:
 		// Without the controller mechanism there is no valid ctrl message;
 		// any that appear are initial-configuration garbage and are ignored.
-		if n.cfg.Features.Controller {
+		if n.vars.cfg.Features.Controller {
 			n.receiveCtrl(env, q, m)
 		}
 	default:
@@ -35,13 +35,14 @@ func (n *Node) HandleMessage(q int, m message.Message, env Env) {
 
 // receiveRes implements Algorithm 1 lines 10-19 / Algorithm 2 lines 9-15.
 func (n *Node) receiveRes(env Env, q int) {
-	if n.isRoot && n.reset {
+	v, i := n.vars, n.idx
+	if n.isRoot && v.reset {
 		// During a reset traversal the root destroys every token it receives.
 		n.emit(Event{Kind: EvDrop, N1: int(message.Res)})
 		return
 	}
-	if n.state == Req && len(n.rset) < n.need {
-		n.rset = append(n.rset, q)
+	if v.state[i] == Req && v.rlen[i] < v.need[i] {
+		n.rsetPush(int32(q))
 		n.emit(Event{Kind: EvReserve, N1: q})
 		return
 	}
@@ -56,17 +57,18 @@ func (n *Node) receiveRes(env Env, q int) {
 // pseudocode as printed (Prio ≠ ⊥), which inverts the priority shield; see
 // DESIGN.md erratum E1.
 func (n *Node) receivePush(env Env, q int) {
-	if n.isRoot && n.reset {
+	v, i := n.vars, n.idx
+	if n.isRoot && v.reset {
 		n.emit(Event{Kind: EvDrop, N1: int(message.Push)})
 		return
 	}
-	prioCond := n.prio == NoPrio
-	if n.cfg.Errata.LiteralPusherGuard {
-		prioCond = n.prio != NoPrio
+	prioCond := v.prio[i] == NoPrio
+	if v.cfg.Errata.LiteralPusherGuard {
+		prioCond = v.prio[i] != NoPrio
 	}
-	if prioCond && (n.state != Req || len(n.rset) < n.need) && n.state != In {
-		if len(n.rset) > 0 {
-			evicted := len(n.rset)
+	if prioCond && (v.state[i] != Req || v.rlen[i] < v.need[i]) && v.state[i] != In {
+		if v.rlen[i] > 0 {
+			evicted := int(v.rlen[i])
 			n.releaseAll(env)
 			n.emit(Event{Kind: EvEvict, N1: evicted})
 		}
@@ -78,14 +80,15 @@ func (n *Node) receivePush(env Env, q int) {
 // The token is captured whenever Prio = ⊥; the bottom half immediately
 // forwards it again unless it shields an unsatisfied request.
 func (n *Node) receivePrio(env Env, q int) {
-	if n.isRoot && n.reset {
+	v, i := n.vars, n.idx
+	if n.isRoot && v.reset {
 		n.emit(Event{Kind: EvDrop, N1: int(message.Prio)})
 		return
 	}
-	if n.prio == NoPrio {
-		n.prio = q
+	if v.prio[i] == NoPrio {
+		v.prio[i] = int32(q)
 		n.emit(Event{Kind: EvPrioAcquire, N1: q})
 		return
 	}
-	env.Send((q+1)%n.deg, message.NewPrio())
+	env.Send((q+1)%int(n.deg), message.NewPrio())
 }

@@ -6,57 +6,121 @@ import (
 	"kofl/internal/message"
 )
 
+// Vars is the struct-of-arrays store for the protocol variables of a set of
+// processes. Each per-process variable lives in a dense slice indexed by a
+// slot number, and the RSet multisets are flattened into one shared backing
+// array with a fixed stride of k entries per slot — so a simulation of n
+// processes keeps its entire protocol state in a handful of contiguous
+// allocations instead of n heap objects with n private slices. A Node is a
+// cheap view (store pointer + slot) over this storage; the simulator binds
+// all its processes into one shared Vars, while standalone construction
+// (NewNode) gives each process a private single-slot store. Vars is not safe
+// for concurrent use across its slots' writers.
+type Vars struct {
+	cfg  Config
+	cmod int   // precomputed CounterMod()
+	k    int32 // rset stride per slot
+
+	state []State
+	need  []int32
+	myC   []int // counter-flushing flag (domain up to 2⁴⁰)
+	succ  []int32
+	prio  []int32 // channel label, NoPrio = ⊥
+	rlen  []int32 // |RSet| per slot
+	rset  []int32 // flattened multisets: slot i owns rset[i*k : i*k+rlen[i]]
+
+	// Root-only variables (Algorithm 1). Exactly one slot of a Vars may be
+	// bound as the root, so these are scalars, not per-slot slices.
+	rootBound bool
+	reset     bool
+	stoken    int32 // resource tokens across ring START this traversal (≤ ℓ+1)
+	sprio     int32 // priority tokens likewise (≤ 2)
+	spush     int32 // pusher tokens likewise (≤ 2)
+}
+
+// NewVars returns a store for n process slots under cfg.
+func NewVars(cfg Config, n int) (*Vars, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: NewVars needs at least 1 slot, got %d", n)
+	}
+	v := &Vars{
+		cfg:   cfg,
+		cmod:  cfg.CounterMod(),
+		k:     int32(cfg.K),
+		state: make([]State, n),
+		need:  make([]int32, n),
+		myC:   make([]int, n),
+		succ:  make([]int32, n),
+		prio:  make([]int32, n),
+		rlen:  make([]int32, n),
+		rset:  make([]int32, n*cfg.K),
+	}
+	for i := range v.prio {
+		v.prio[i] = NoPrio
+	}
+	return v, nil
+}
+
+// Config returns the store's protocol configuration.
+func (v *Vars) Config() Config { return v.cfg }
+
+// Bind attaches slot idx of v as the process with the given id and degree and
+// returns the Node view. The root (per the tree package, id 0) runs
+// Algorithm 1; at most one slot per store may be bound as the root. app must
+// be non-nil.
+func (v *Vars) Bind(idx, id, deg int, isRoot bool, app App) (Node, error) {
+	if idx < 0 || idx >= len(v.state) {
+		return Node{}, fmt.Errorf("core: Bind slot %d outside [0..%d)", idx, len(v.state))
+	}
+	if deg < 1 {
+		return Node{}, fmt.Errorf("core: process %d has degree %d; the tree must be connected", id, deg)
+	}
+	if app == nil {
+		return Node{}, fmt.Errorf("core: process %d needs an App", id)
+	}
+	if isRoot {
+		if v.rootBound {
+			return Node{}, fmt.Errorf("core: process %d: store already has a root slot", id)
+		}
+		v.rootBound = true
+	}
+	return Node{vars: v, id: int32(id), idx: int32(idx), deg: int32(deg), isRoot: isRoot, app: app}, nil
+}
+
 // Node is one process of the protocol: the root runs Algorithm 1, every
 // other process Algorithm 2. A Node is driven from outside by
 // HandleMessage (a message was delivered), HandleTimeout (the root's
 // retransmission timer fired), Request (the application asks for units) and
 // Poll (the application's state may have changed). A Node is not safe for
-// concurrent use; each runtime serializes calls per node.
+// concurrent use; each runtime serializes calls per node. Its protocol
+// variables live in a Vars store (see above); the Node itself is a small
+// copyable view.
 type Node struct {
-	cfg    Config
-	id     int
-	deg    int // ∆p
+	vars   *Vars
+	id     int32
+	idx    int32
+	deg    int32 // ∆p
 	isRoot bool
 	app    App
 	obs    Observer
-
-	// Application interface variables (paper §2).
-	state State
-	need  int
-
-	// Protocol variables common to Algorithms 1 and 2.
-	myC  int   // counter-flushing flag
-	succ int   // next channel for the controller
-	rset []int // multiset of channel labels of reserved resource tokens
-	prio int   // channel the priority token arrived from; NoPrio = ⊥
-
-	// Root-only variables (Algorithm 1).
-	reset  bool
-	stoken int // resource tokens that crossed ring START this traversal (≤ ℓ+1)
-	sprio  int // priority tokens likewise (≤ 2)
-	spush  int // pusher tokens likewise (≤ 2)
 }
 
-// NewNode builds the process with the given id and degree. The root (per the
-// tree package, id 0) runs Algorithm 1. app must be non-nil.
+// NewNode builds the process with the given id and degree, backed by its own
+// single-slot Vars store. The root (per the tree package, id 0) runs
+// Algorithm 1. app must be non-nil.
 func NewNode(cfg Config, id, deg int, isRoot bool, app App) (*Node, error) {
-	if err := cfg.Validate(); err != nil {
+	v, err := NewVars(cfg, 1)
+	if err != nil {
 		return nil, err
 	}
-	if deg < 1 {
-		return nil, fmt.Errorf("core: process %d has degree %d; the tree must be connected", id, deg)
+	n, err := v.Bind(0, id, deg, isRoot, app)
+	if err != nil {
+		return nil, err
 	}
-	if app == nil {
-		return nil, fmt.Errorf("core: process %d needs an App", id)
-	}
-	return &Node{
-		cfg:    cfg,
-		id:     id,
-		deg:    deg,
-		isRoot: isRoot,
-		app:    app,
-		prio:   NoPrio,
-	}, nil
+	return &n, nil
 }
 
 // MustNewNode is NewNode for static fixtures; it panics on error.
@@ -71,52 +135,90 @@ func MustNewNode(cfg Config, id, deg int, isRoot bool, app App) *Node {
 // SetObserver installs the event monitor (may be nil).
 func (n *Node) SetObserver(o Observer) { n.obs = o }
 
+// SetApp replaces the application callback adapter bound at Bind time, so a
+// host can rebind a process to a live application without an extra
+// indirection layer on the EnterCS/ReleaseCS hot path.
+func (n *Node) SetApp(app App) {
+	if app == nil {
+		panic("core: SetApp with nil app")
+	}
+	n.app = app
+}
+
 func (n *Node) emit(e Event) {
 	if n.obs != nil {
-		e.P = n.id
+		e.P = int(n.id)
 		n.obs(e)
 	}
 }
 
 // ID returns the process id.
-func (n *Node) ID() int { return n.id }
+func (n *Node) ID() int { return int(n.id) }
 
 // Degree returns ∆p.
-func (n *Node) Degree() int { return n.deg }
+func (n *Node) Degree() int { return int(n.deg) }
 
 // IsRoot reports whether this process runs Algorithm 1.
 func (n *Node) IsRoot() bool { return n.isRoot }
 
 // State returns the application-interface state.
-func (n *Node) State() State { return n.state }
+func (n *Node) State() State { return n.vars.state[n.idx] }
 
 // Need returns the number of units currently requested.
-func (n *Node) Need() int { return n.need }
+func (n *Node) Need() int { return int(n.vars.need[n.idx]) }
 
 // Reserved returns the number of resource tokens currently reserved (|RSet|).
-func (n *Node) Reserved() int { return len(n.rset) }
+func (n *Node) Reserved() int { return int(n.vars.rlen[n.idx]) }
+
+// Probe returns the census-relevant view of slot idx — |RSet|, priority
+// held, in critical section — in one bounds-checked read of the store. The
+// simulator's census tracker brackets every node mutation with a pair of
+// probes; one fused accessor keeps that bracket to two calls.
+func (v *Vars) Probe(idx int) (res int32, prio, in bool) {
+	return v.rlen[idx], v.prio[idx] != NoPrio, v.state[idx] == In
+}
+
+// rsetAll returns the live flattened reservation multiset of this process.
+func (n *Node) rsetAll() []int32 {
+	off := int(n.idx) * int(n.vars.k)
+	return n.vars.rset[off : off+int(n.vars.rlen[n.idx])]
+}
+
+// rsetPush appends one reserved channel label. The caller guarantees
+// |RSet| < k (the receive guard enforces need ≤ k).
+func (n *Node) rsetPush(ch int32) {
+	v := n.vars
+	v.rset[int(n.idx)*int(v.k)+int(v.rlen[n.idx])] = ch
+	v.rlen[n.idx]++
+}
+
+// rsetClear empties the reservation multiset.
+func (n *Node) rsetClear() { n.vars.rlen[n.idx] = 0 }
 
 // RSet returns a copy of the reservation multiset (channel labels).
 func (n *Node) RSet() []int {
-	out := make([]int, len(n.rset))
-	copy(out, n.rset)
+	live := n.rsetAll()
+	out := make([]int, len(live))
+	for i, ch := range live {
+		out[i] = int(ch)
+	}
 	return out
 }
 
 // Prio returns the channel the held priority token arrived from, or NoPrio.
-func (n *Node) Prio() int { return n.prio }
+func (n *Node) Prio() int { return int(n.vars.prio[n.idx]) }
 
 // HoldsPrio reports whether the process holds the priority token.
-func (n *Node) HoldsPrio() bool { return n.prio != NoPrio }
+func (n *Node) HoldsPrio() bool { return n.vars.prio[n.idx] != NoPrio }
 
 // MyC returns the counter-flushing flag value.
-func (n *Node) MyC() int { return n.myC }
+func (n *Node) MyC() int { return n.vars.myC[n.idx] }
 
 // Succ returns the channel the controller is expected from / forwarded to.
-func (n *Node) Succ() int { return n.succ }
+func (n *Node) Succ() int { return int(n.vars.succ[n.idx]) }
 
 // ResetFlag returns the root's Reset variable (false at non-roots).
-func (n *Node) ResetFlag() bool { return n.reset }
+func (n *Node) ResetFlag() bool { return n.isRoot && n.vars.reset }
 
 // Snapshot is a copy of a Node's protocol state; Restore applies one.
 // Together they let fault injectors place the process in an arbitrary
@@ -137,37 +239,43 @@ type Snapshot struct {
 
 // Snapshot returns a copy of the current protocol state.
 func (n *Node) Snapshot() Snapshot {
-	return Snapshot{
-		State: n.state, Need: n.need, MyC: n.myC, Succ: n.succ,
-		RSet: n.RSet(), Prio: n.prio,
-		Reset: n.reset, SToken: n.stoken, SPrio: n.sprio, SPush: n.spush,
+	v := n.vars
+	s := Snapshot{
+		State: v.state[n.idx], Need: int(v.need[n.idx]), MyC: v.myC[n.idx],
+		Succ: int(v.succ[n.idx]), RSet: n.RSet(), Prio: int(v.prio[n.idx]),
 	}
+	if n.isRoot {
+		s.Reset = v.reset
+		s.SToken, s.SPrio, s.SPush = int(v.stoken), int(v.sprio), int(v.spush)
+	}
+	return s
 }
 
 // Restore overwrites the protocol state with s, clamping every variable into
 // its declared domain (transient faults corrupt values, not types).
 func (n *Node) Restore(s Snapshot) {
-	n.state = State(clamp(int(s.State), 0, int(In)))
-	n.need = clamp(s.Need, 0, n.cfg.K)
-	n.myC = clamp(s.MyC, 0, n.cfg.CounterMod()-1)
-	n.succ = clamp(s.Succ, 0, n.deg-1)
-	n.rset = n.rset[:0]
+	v := n.vars
+	v.state[n.idx] = State(clamp(int(s.State), 0, int(In)))
+	v.need[n.idx] = int32(clamp(s.Need, 0, v.cfg.K))
+	v.myC[n.idx] = clamp(s.MyC, 0, v.cmod-1)
+	v.succ[n.idx] = int32(clamp(s.Succ, 0, int(n.deg)-1))
+	n.rsetClear()
 	for _, ch := range s.RSet {
-		if len(n.rset) >= n.cfg.K {
+		if int(v.rlen[n.idx]) >= v.cfg.K {
 			break
 		}
-		n.rset = append(n.rset, clamp(ch, 0, n.deg-1))
+		n.rsetPush(int32(clamp(ch, 0, int(n.deg)-1)))
 	}
 	if s.Prio == NoPrio {
-		n.prio = NoPrio
+		v.prio[n.idx] = NoPrio
 	} else {
-		n.prio = clamp(s.Prio, 0, n.deg-1)
+		v.prio[n.idx] = int32(clamp(s.Prio, 0, int(n.deg)-1))
 	}
 	if n.isRoot {
-		n.reset = s.Reset
-		n.stoken = clamp(s.SToken, 0, n.cfg.L+1)
-		n.sprio = clamp(s.SPrio, 0, 2)
-		n.spush = clamp(s.SPush, 0, 2)
+		v.reset = s.Reset
+		v.stoken = int32(clamp(s.SToken, 0, v.cfg.L+1))
+		v.sprio = int32(clamp(s.SPrio, 0, 2))
+		v.spush = int32(clamp(s.SPush, 0, 2))
 	}
 }
 
@@ -186,14 +294,15 @@ func clamp(v, lo, hi int) int {
 // grant the request immediately. Any transition other than Out→Req is
 // forbidden by the interface contract and returns an error.
 func (n *Node) Request(env Env, need int) error {
-	if n.state != Out {
-		return fmt.Errorf("core: process %d: Request in state %v (only Out→Req is allowed)", n.id, n.state)
+	v := n.vars
+	if v.state[n.idx] != Out {
+		return fmt.Errorf("core: process %d: Request in state %v (only Out→Req is allowed)", n.id, v.state[n.idx])
 	}
-	if need < 0 || need > n.cfg.K {
-		return fmt.Errorf("core: process %d: need %d outside [0..k=%d]", n.id, need, n.cfg.K)
+	if need < 0 || need > v.cfg.K {
+		return fmt.Errorf("core: process %d: need %d outside [0..k=%d]", n.id, need, v.cfg.K)
 	}
-	n.need = need
-	n.state = Req
+	v.need[n.idx] = int32(need)
+	v.state[n.idx] = Req
 	n.emit(Event{Kind: EvRequest, N1: need})
 	n.bottomHalf(env)
 	return nil
@@ -209,24 +318,25 @@ func (n *Node) Poll(env Env) { n.bottomHalf(env) }
 
 // bottomHalf implements Algorithm 1 lines 78-98 / Algorithm 2 lines 62-76.
 func (n *Node) bottomHalf(env Env) {
+	v, i := n.vars, n.idx
 	// Enter the critical section when the request is covered.
-	if n.state == Req && len(n.rset) >= n.need {
-		n.state = In
-		n.emit(Event{Kind: EvEnterCS, N1: n.need, N2: len(n.rset)})
+	if v.state[i] == Req && v.rlen[i] >= v.need[i] {
+		v.state[i] = In
+		n.emit(Event{Kind: EvEnterCS, N1: int(v.need[i]), N2: int(v.rlen[i])})
 		n.app.EnterCS()
 	}
 	// Release every reserved token once the critical section is done.
-	if n.state == In && n.app.ReleaseCS() {
-		released := len(n.rset)
+	if v.state[i] == In && n.app.ReleaseCS() {
+		released := int(v.rlen[i])
 		n.releaseAll(env)
-		n.state = Out
-		n.need = 0
+		v.state[i] = Out
+		v.need[i] = 0
 		n.emit(Event{Kind: EvExitCS, N1: released})
 	}
 	// Forward the priority token unless it shields an unsatisfied request.
-	if n.prio != NoPrio && (n.state != Req || len(n.rset) >= n.need) {
-		n.forwardPrio(env, n.prio)
-		n.prio = NoPrio
+	if v.prio[i] != NoPrio && (v.state[i] != Req || v.rlen[i] >= v.need[i]) {
+		n.forwardPrio(env, int(v.prio[i]))
+		v.prio[i] = NoPrio
 		n.emit(Event{Kind: EvPrioRelease})
 	}
 }
@@ -234,43 +344,43 @@ func (n *Node) bottomHalf(env Env) {
 // releaseAll retransmits every reserved token along the virtual ring,
 // counting ring-START crossings at the root, and empties RSet.
 func (n *Node) releaseAll(env Env) {
-	for _, i := range n.rset {
-		n.forwardRes(env, i)
+	for _, i := range n.rsetAll() {
+		n.forwardRes(env, int(i))
 	}
-	n.rset = n.rset[:0]
+	n.rsetClear()
 }
 
 // forwardRes sends a resource token that arrived from channel i onward to
 // channel i+1 (mod ∆p); at the root a token leaving for channel 0 crossed
 // the ring START and is counted in SToken.
 func (n *Node) forwardRes(env Env, i int) {
-	if n.isRoot && i == n.deg-1 {
-		n.stoken = min(n.stoken+1, n.cfg.L+1)
+	if n.isRoot && i == int(n.deg)-1 {
+		n.vars.stoken = int32(min(int(n.vars.stoken)+1, n.vars.cfg.L+1))
 	}
-	env.Send((i+1)%n.deg, message.NewRes())
+	env.Send((i+1)%int(n.deg), message.NewRes())
 }
 
 // forwardPrio likewise for the priority token (root counts into SPrio).
 func (n *Node) forwardPrio(env Env, i int) {
-	if n.isRoot && i == n.deg-1 {
-		n.sprio = min(n.sprio+1, 2)
+	if n.isRoot && i == int(n.deg)-1 {
+		n.vars.sprio = int32(min(int(n.vars.sprio)+1, 2))
 	}
-	env.Send((i+1)%n.deg, message.NewPrio())
+	env.Send((i+1)%int(n.deg), message.NewPrio())
 }
 
 // forwardPush likewise for the pusher token (root counts into SPush).
 func (n *Node) forwardPush(env Env, i int) {
-	if n.isRoot && i == n.deg-1 {
-		n.spush = min(n.spush+1, 2)
+	if n.isRoot && i == int(n.deg)-1 {
+		n.vars.spush = int32(min(int(n.vars.spush)+1, 2))
 	}
-	env.Send((i+1)%n.deg, message.NewPush())
+	env.Send((i+1)%int(n.deg), message.NewPush())
 }
 
 // multiplicity returns |RSet|_q: how many reserved tokens arrived from q.
 func (n *Node) multiplicity(q int) int {
 	c := 0
-	for _, i := range n.rset {
-		if i == q {
+	for _, i := range n.rsetAll() {
+		if int(i) == q {
 			c++
 		}
 	}
@@ -283,6 +393,7 @@ func (n *Node) String() string {
 	if n.isRoot {
 		role = "root"
 	}
+	v := n.vars
 	return fmt.Sprintf("%s%d{%v need=%d |RSet|=%d prio=%d myC=%d succ=%d}",
-		role, n.id, n.state, n.need, len(n.rset), n.prio, n.myC, n.succ)
+		role, n.id, v.state[n.idx], v.need[n.idx], v.rlen[n.idx], v.prio[n.idx], v.myC[n.idx], v.succ[n.idx])
 }

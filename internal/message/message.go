@@ -50,12 +50,20 @@ func (k Kind) Valid() bool { return k >= Res && k <= Ctrl }
 
 // Message is one protocol message. The C/R/PT/PPr fields are meaningful only
 // when Kind == Ctrl and are zero otherwise.
+//
+// The layout is packed for the simulator's hot path: messages are copied on
+// every push, pop and snapshot, so the struct orders fields widest first and
+// narrows PT/PPr to uint16 — exactly the width the wire format encodes them
+// at; their protocol domains are [0..ℓ+1] and [0..2], so configurations
+// assume ℓ + 1 ≤ 65535 (as the codec always has). C stays a full int because
+// the UnboundedCounters variant runs the counter-flushing flag modulo 2⁴⁰.
+// The whole struct is 16 bytes instead of the naive 40.
 type Message struct {
+	C    int    // counter-flushing flag myC ∈ [0 .. 2(n-1)(CMAX+1)]
+	PT   uint16 // passed resource tokens ∈ [0 .. ℓ+1]
+	PPr  uint16 // passed priority tokens ∈ [0 .. 2]
 	Kind Kind
-	C    int  // counter-flushing flag myC ∈ [0 .. 2(n-1)(CMAX+1)]
 	R    bool // reset flag
-	PT   int  // passed resource tokens ∈ [0 .. ℓ+1]
-	PPr  int  // passed priority tokens ∈ [0 .. 2]
 }
 
 // NewRes returns a resource token.
@@ -69,7 +77,7 @@ func NewPrio() Message { return Message{Kind: Prio} }
 
 // NewCtrl returns a controller message with the given fields.
 func NewCtrl(c int, r bool, pt, ppr int) Message {
-	return Message{Kind: Ctrl, C: c, R: r, PT: pt, PPr: ppr}
+	return Message{Kind: Ctrl, C: c, R: r, PT: uint16(pt), PPr: uint16(ppr)}
 }
 
 // IsToken reports whether m is one of the three circulating resource-layer

@@ -130,8 +130,8 @@ func TestWireRoundTripProperty(t *testing.T) {
 		if m.Kind == Ctrl {
 			m.C = int(c)
 			m.R = r
-			m.PT = int(pt)
-			m.PPr = int(ppr)
+			m.PT = pt
+			m.PPr = ppr
 		}
 		got, _, err := Decode(Encode(nil, m))
 		return err == nil && got == m

@@ -58,8 +58,8 @@ func Decode(b []byte) (Message, int, error) {
 	if k == Ctrl {
 		m.C = int(binary.BigEndian.Uint32(b[1:5]))
 		m.R = b[5] == 1
-		m.PT = int(binary.BigEndian.Uint16(b[6:8]))
-		m.PPr = int(binary.BigEndian.Uint16(b[8:10]))
+		m.PT = binary.BigEndian.Uint16(b[6:8])
+		m.PPr = binary.BigEndian.Uint16(b[8:10])
 	}
 	return m, FrameSize, nil
 }

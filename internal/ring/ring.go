@@ -270,8 +270,8 @@ func (s *Sim) deliverCtrl(p int, m message.Message) {
 		}
 		// Completion: accumulate the root's parked tokens into the ending
 		// circulation (corrected order, cf. tree erratum E2).
-		pt := min(m.PT+n.rset, s.Cfg.L+1)
-		ppr := m.PPr
+		pt := min(int(m.PT)+n.rset, s.Cfg.L+1)
+		ppr := int(m.PPr)
 		if n.prio {
 			ppr = min(ppr+1, 2)
 		}
@@ -310,8 +310,8 @@ func (s *Sim) deliverCtrl(p int, m message.Message) {
 		n.rset = 0
 		n.prio = false
 	}
-	pt := min(m.PT+n.rset, s.Cfg.L+1)
-	ppr := m.PPr
+	pt := min(int(m.PT)+n.rset, s.Cfg.L+1)
+	ppr := int(m.PPr)
 	if n.prio {
 		ppr = min(ppr+1, 2)
 	}

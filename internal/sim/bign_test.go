@@ -1,0 +1,72 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"kofl/internal/core"
+	"kofl/internal/sim"
+	"kofl/internal/tree"
+	"kofl/internal/workload"
+)
+
+// saturatedSim builds the standard saturated full-protocol system used by the
+// big-n tests: every process cycling through request/hold/think as fast as
+// the protocol allows.
+func saturatedSim(tb testing.TB, tr *tree.Tree) *sim.Sim {
+	tb.Helper()
+	cfg := core.Config{K: 2, L: 8, N: tr.N(), CMAX: 4, Features: core.Full()}
+	s := sim.MustNew(tr, cfg, sim.Options{Seed: 1})
+	for p := 0; p < tr.N(); p++ {
+		workload.Attach(s, p, workload.Fixed(1+p%2, 2, 4, 0))
+	}
+	return s
+}
+
+// TestZeroAllocSteadyState is the allocation contract of the kernel: once a
+// saturated run has warmed past convergence into steady churn, stepping the
+// simulator performs ZERO heap allocations — no message frames, no closure
+// boxes, no interface conversions, no ring growth. Ring buffers recycle
+// through the arena, the wake heap and action set are preallocated, and every
+// hot-path callback is a method value bound at construction.
+func TestZeroAllocSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *tree.Tree
+	}{
+		{"chain-255", tree.Chain(255)},
+		{"star-255", tree.Star(255)},
+		{"prufer-255", tree.Prufer(255, rand.New(rand.NewSource(7)))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := saturatedSim(t, tc.tr)
+			s.Run(100_000) // converge and reach steady-state capacities
+			allocs := testing.AllocsPerRun(10, func() {
+				s.Run(2_000)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state stepping allocates: %.4f allocs per 2000-step run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBigNSmoke builds and steps a 65535-process system — fast enough to run
+// under -short on every CI pass. It pins the properties that make big n
+// feasible at all: near-linear construction (the O(n²) tree walk and
+// quadratic channel setup are gone), stepping from a cold start, and a
+// maintained census that agrees with the full-scan oracle after the run.
+func TestBigNSmoke(t *testing.T) {
+	const n = 65535
+	tr := tree.Prufer(n, rand.New(rand.NewSource(42)))
+	s := saturatedSim(t, tr)
+	if done := s.Run(200_000); done != 200_000 {
+		t.Fatalf("ran %d steps, want 200000", done)
+	}
+	if got, want := s.Census(), s.CensusScan(); got != want {
+		t.Errorf("maintained census diverged from scan oracle:\n  maintained: %v\n  scan:       %v", got, want)
+	}
+	if s.Census().Res() != s.Cfg.L {
+		t.Errorf("resource population = %d, want %d", s.Census().Res(), s.Cfg.L)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"kofl/internal/channel"
 	"kofl/internal/core"
 	"kofl/internal/message"
 )
@@ -34,16 +35,23 @@ func (c Census) String() string {
 }
 
 // Census returns the current global token census. By default it is the
-// incrementally maintained census — O(1), updated by deltas at every channel
-// mutation and node transition — so monitors can read it every step for
-// free. With Options.ScanCensus it recomputes the census from a full
-// snapshot scan on every call: the differential-testing oracle, exactly like
+// incrementally maintained census — O(1), assembled from the shared channel
+// population counter (channel-side fields) and the node-state fold
+// (node-side fields) — so monitors can read it every step for free. With
+// Options.ScanCensus it recomputes the census from a full snapshot scan on
+// every call: the differential-testing oracle, exactly like
 // Options.FullRescan for the enabled-action set.
 func (s *Sim) Census() Census {
 	if s.scanCensus {
 		return s.CensusScan()
 	}
-	return s.census
+	c := s.census
+	c.FreeRes = int(s.counts.Kinds[message.Res])
+	c.FreePush = int(s.counts.Kinds[message.Push])
+	c.FreePrio = int(s.counts.Kinds[message.Prio])
+	c.Ctrl = int(s.counts.Kinds[message.Ctrl])
+	c.ResetCtrl = int(s.counts.ResetCtrl)
+	return c
 }
 
 // CensusScan computes the census from scratch by walking every channel and
@@ -52,21 +60,19 @@ func (s *Sim) Census() Census {
 // as the rebuild primitive behind ResyncCensus.
 func (s *Sim) CensusScan() Census {
 	var c Census
-	for p := range s.out {
-		for _, ch := range s.out[p] {
-			for _, m := range ch.Snapshot() {
-				switch m.Kind {
-				case message.Res:
-					c.FreeRes++
-				case message.Push:
-					c.FreePush++
-				case message.Prio:
-					c.FreePrio++
-				case message.Ctrl:
-					c.Ctrl++
-					if m.R {
-						c.ResetCtrl++
-					}
+	for i := range s.chans {
+		for _, m := range s.chans[i].Snapshot() {
+			switch m.Kind {
+			case message.Res:
+				c.FreeRes++
+			case message.Push:
+				c.FreePush++
+			case message.Prio:
+				c.FreePrio++
+			case message.Ctrl:
+				c.Ctrl++
+				if m.R {
+					c.ResetCtrl++
 				}
 			}
 		}
@@ -87,64 +93,61 @@ func (s *Sim) CensusScan() Census {
 	return c
 }
 
-// censusMsg applies one channel content delta to the maintained census:
-// delta = +1 when m entered a channel, -1 when it left. Kinds outside the
-// protocol's four (initial channel garbage can hold arbitrary bytes) are not
-// token-bearing and are ignored, exactly as the snapshot scan ignores them.
-func (s *Sim) censusMsg(m message.Message, delta int) {
-	switch m.Kind {
-	case message.Res:
-		s.census.FreeRes += delta
-	case message.Push:
-		s.census.FreePush += delta
-	case message.Prio:
-		s.census.FreePrio += delta
-	case message.Ctrl:
-		s.census.Ctrl += delta
-		if m.R {
-			s.census.ResetCtrl += delta
-		}
-	}
+// nodeDelta is the before-image of one node's census-relevant state, taken
+// by beginTrack and folded against the after-image by endTrack. Passing it
+// by value keeps the node-tracking brackets on the kernel hot path free of
+// closure allocation and indirect calls.
+type nodeDelta struct {
+	res  int
+	prio bool
+	in   bool
+	skip bool // census disabled or reentrant frame: fold nothing
 }
 
-// trackNode runs fn — which may mutate node p's protocol state — and folds
-// the resulting state delta into the maintained census. Every kernel entry
-// point into a core.Node (message handling, timeout, Handle calls,
-// RestoreNode) is routed through here; messages the node sends while
-// handling are accounted separately by the channel OnMessage hooks.
+// beginTrack opens a node-tracking bracket around a state mutation of
+// process p; the returned before-image must be handed to endTrack(p, ·)
+// after the mutation. Every kernel entry point into a core.Node (message
+// handling, timeout, Handle calls, RestoreNode) is bracketed this way;
+// messages the node sends while handling are accounted separately by the
+// channels' shared population counter.
 //
-// Reentrant calls for the SAME node (an application's EnterCS callback
+// Reentrant brackets for the SAME node (an application's EnterCS callback
 // polling its own Handle mid-delivery) are not double-counted: the outermost
-// frame observes the full before/after delta. A nested call for a DIFFERENT
-// node (user callbacks may drive another process's Handle) opens its own
-// frame, which is sound because census deltas of distinct nodes are
+// frame observes the full before/after delta. A nested bracket for a
+// DIFFERENT node (user callbacks may drive another process's Handle) opens
+// its own frame, which is sound because census deltas of distinct nodes are
 // independent and additive.
-func (s *Sim) trackNode(p int, fn func()) {
+func (s *Sim) beginTrack(p int) nodeDelta {
 	if s.scanCensus || s.tracked[p] {
-		fn()
-		return
+		return nodeDelta{skip: true}
 	}
 	s.tracked[p] = true
-	n := s.Nodes[p]
-	resB, prioB := n.Reserved(), n.HoldsPrio()
-	inB := n.State() == core.In
-	fn()
-	resA, prioA := n.Reserved(), n.HoldsPrio()
-	inA := n.State() == core.In
-	s.tracked[p] = false
+	res, prio, in := s.vars.Probe(p)
+	return nodeDelta{res: int(res), prio: prio, in: in}
+}
 
-	s.census.ReservedRes += resA - resB
-	if prioA != prioB {
+// endTrack closes a node-tracking bracket, folding the state delta of
+// process p since beginTrack into the maintained census.
+func (s *Sim) endTrack(p int, d nodeDelta) {
+	if d.skip {
+		return
+	}
+	s.tracked[p] = false
+	res32, prioA, inA := s.vars.Probe(p)
+	resA := int(res32)
+
+	s.census.ReservedRes += resA - d.res
+	if prioA != d.prio {
 		if prioA {
 			s.census.HeldPrio++
 		} else {
 			s.census.HeldPrio--
 		}
 	}
-	if inB {
+	if d.in {
 		s.census.InCS--
-		s.census.UnitsInUse -= resB
-		if resB > s.Cfg.K {
+		s.census.UnitsInUse -= d.res
+		if d.res > s.Cfg.K {
 			s.census.OverK--
 		}
 	}
@@ -157,16 +160,34 @@ func (s *Sim) trackNode(p int, fn func()) {
 	}
 }
 
-// ResyncCensus rebuilds the maintained census from a full snapshot scan.
-// Mutations through the channel API and node transitions driven through the
-// kernel (Step, Handles, RestoreNode) keep the census in sync automatically;
-// call this after any OTHER out-of-band state change — the census side of
-// the fault-injection resync rule. ResyncActions calls it, so code following
+// trackNode runs fn — which may mutate node p's protocol state — and folds
+// the resulting state delta into the maintained census: the closure
+// convenience form of beginTrack/endTrack for cold paths.
+func (s *Sim) trackNode(p int, fn func()) {
+	d := s.beginTrack(p)
+	fn()
+	s.endTrack(p, d)
+}
+
+// ResyncCensus rebuilds the maintained census — the node-side fold and the
+// shared channel population counter — from a full snapshot scan. Mutations
+// through the channel API and node transitions driven through the kernel
+// (Step, Handles, RestoreNode) keep the census in sync automatically; call
+// this after any OTHER out-of-band state change — the census side of the
+// fault-injection resync rule. ResyncActions calls it, so code following
 // the action-set resync rule is covered without further ceremony.
 func (s *Sim) ResyncCensus() {
-	if !s.scanCensus {
-		s.census = s.CensusScan()
+	if s.scanCensus {
+		return
 	}
+	full := s.CensusScan()
+	s.census = full
+	s.counts = channel.Counts{}
+	s.counts.Kinds[message.Res] = int64(full.FreeRes)
+	s.counts.Kinds[message.Push] = int64(full.FreePush)
+	s.counts.Kinds[message.Prio] = int64(full.FreePrio)
+	s.counts.Kinds[message.Ctrl] = int64(full.Ctrl)
+	s.counts.ResetCtrl = int64(full.ResetCtrl)
 }
 
 // RestoreNode overwrites process p's protocol state with snap (clamped into
@@ -213,7 +234,7 @@ func (s *Sim) TokensCorrect() bool {
 // tokens, then the pusher, then the priority token — per enabled feature —
 // all queued on the root's outgoing channel 0, i.e. at ring START.
 func (s *Sim) SeedLegitimate() {
-	c := s.out[s.Tree.Root()][0]
+	c := s.Out(s.Tree.Root(), 0)
 	for i := 0; i < s.Cfg.L; i++ {
 		c.Seed(message.NewRes())
 	}
@@ -228,7 +249,8 @@ func (s *Sim) SeedLegitimate() {
 // Seed enqueues msgs (in order) on the outgoing channel ch of process p,
 // without counting them as sent — for scenario and fault setup.
 func (s *Sim) Seed(p, ch int, msgs ...message.Message) {
+	c := s.Out(p, ch)
 	for _, m := range msgs {
-		s.out[p][ch].Seed(m)
+		c.Seed(m)
 	}
 }

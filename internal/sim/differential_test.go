@@ -121,6 +121,44 @@ func TestDifferentialKernels(t *testing.T) {
 	}
 }
 
+// TestDifferentialModerateN repeats the kernel differential at n = 257 —
+// big enough that the struct-of-arrays state, the flattened rset backing
+// array, the count-hierarchy select and the arena-backed rings all run past
+// their small-n fast paths — across topologies, with and without fault
+// storms (whose Replace/Seed mutations exercise the out-of-band resync).
+func TestDifferentialModerateN(t *testing.T) {
+	topologies := map[string]*tree.Tree{
+		"chain-257":  tree.Chain(257),
+		"star-257":   tree.Star(257),
+		"prufer-257": tree.Prufer(257, rand.New(rand.NewSource(13))),
+	}
+	newSched := func() sim.Scheduler { return sim.NewRandomScheduler() }
+	for topoName, tr := range topologies {
+		for _, storm := range []int64{0, 1_500} {
+			name := fmt.Sprintf("%s/storm=%d", topoName, storm)
+			t.Run(name, func(t *testing.T) {
+				cfg := core.Config{K: 2, L: 8, N: tr.N(), CMAX: 4, Features: core.Full()}
+				steps := int64(12_000)
+				gotTrace, gotSum := diffRun(t, tr, cfg, 3, newSched, steps, storm, false)
+				wantTrace, wantSum := diffRun(t, tr, cfg, 3, newSched, steps, storm, true)
+				if len(gotTrace) != len(wantTrace) {
+					t.Fatalf("trace lengths differ: incremental %d, rescan %d",
+						len(gotTrace), len(wantTrace))
+				}
+				for i := range wantTrace {
+					if gotTrace[i] != wantTrace[i] {
+						t.Fatalf("kernels diverged at step %d:\n  rescan:      %s\n  incremental: %s",
+							i+1, wantTrace[i], gotTrace[i])
+					}
+				}
+				if gotSum != wantSum {
+					t.Errorf("summaries differ:\n  rescan:      %s\n  incremental: %s", wantSum, gotSum)
+				}
+			})
+		}
+	}
+}
+
 // TestDifferentialVariants repeats the differential check on the protocol
 // rungs without the controller (seeded tokens, quiescence possible) and on
 // the pusher-only rung, covering the timeout-disabled code paths.

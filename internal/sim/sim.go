@@ -32,22 +32,34 @@
 // # Incremental census kernel
 //
 // The global token census (Census) is likewise maintained incrementally:
-// channels report every content change through an OnMessage delta hook, and
-// every kernel entry point into a node (delivery, timeout, Handle calls,
-// RestoreNode) folds the node-state delta into the persistent census — so
-// reading the census each step is O(1) instead of O(n + channels). Monitors
-// in internal/checker consume the maintained value. Options.ScanCensus
-// selects the legacy recompute-on-read snapshot as the differential oracle,
-// exactly as Options.FullRescan does for scheduling.
+// every channel maintains a shared per-kind population counter
+// (channel.Counts) inline on every content change, and every kernel entry
+// point into a node (delivery, timeout, Handle calls, RestoreNode) folds the
+// node-state delta into the persistent census — so reading the census each
+// step is O(1) instead of O(n + channels). Monitors in internal/checker
+// consume the maintained value. Options.ScanCensus selects the legacy
+// recompute-on-read snapshot as the differential oracle, exactly as
+// Options.FullRescan does for scheduling.
+//
+// # Memory model
+//
+// The simulator state is laid out for the big-n regime: node protocol
+// variables live in one shared struct-of-arrays store (core.Vars), all
+// directed channels live in a single dense slice indexed by deliver ordinal
+// (the CSR layout of the ActionSet's ordinal space), channel rings draw from
+// one shared channel.Arena, and the per-process Env/App adapters are value
+// slices. Steady-state stepping performs zero heap allocations; see
+// docs/ARCHITECTURE.md ("Memory model").
 //
 // # Fault-injection resync rule
 //
 // Out-of-band mutations must keep the ActionSet and the census in sync.
 // Mutating channel contents through the channel API (Push/Pop/Seed/Replace)
-// is always safe — the emptiness and message hooks fire. Corrupting process
-// state through Sim.RestoreNode is likewise tracked. Any other out-of-band
-// change must be followed by a call to Sim.ResyncActions (which also resyncs
-// the census) or Sim.ResyncCensus, both of which rebuild from a full scan.
+// is always safe — the emptiness hooks and population counters fire.
+// Corrupting process state through Sim.RestoreNode is likewise tracked. Any
+// other out-of-band change must be followed by a call to Sim.ResyncActions
+// (which also resyncs the census) or Sim.ResyncCensus, both of which rebuild
+// from a full scan.
 //
 // See docs/ARCHITECTURE.md at the repository root for how the two kernels,
 // the determinism contract and the differential oracles fit together.
@@ -192,34 +204,50 @@ type Sim struct {
 	Nodes []*core.Node
 	Apps  []App
 
-	in  [][]*channel.Channel // in[p][ch]: incoming channel of p with label ch
-	out [][]*channel.Channel // out[p][ch]: same channels, sender view
+	// Channel storage in CSR form: chans[ord] is the channel whose delivery
+	// is deliver ordinal ord of the ActionSet — i.e. the channel INTO
+	// (receiver, label) in lexicographic order. outOrd maps a sender-side
+	// ordinal (base[p]+ch, p's outgoing channel ch) to the index of that
+	// same directed channel in chans. One dense slice for all 2(n-1)
+	// channels instead of two n-sized tables of pointers.
+	chans  []channel.Channel
+	outOrd []int32
+
+	nodeBuf []core.Node // backing array of Nodes
+	vars    *core.Vars  // shared struct-of-arrays protocol state
+	envs    []env       // per-process core.Env adapters (pointed into)
+	handles []handle    // per-process Handle values (pointed into, no boxing)
+	arena   *channel.Arena
 
 	clock        int64
 	rng          *rand.Rand
 	sched        Scheduler
+	randSched    bool // sched is the stateless RandomScheduler: pick inline
 	timeoutTicks int64
 	lastRestart  int64
 
 	observers []core.Observer
-	envs      []*env
 
 	// The incremental scheduling kernel.
 	actions     *ActionSet
 	wakes       []wake   // min-heap on at; stale entries skipped via wakeAt
 	wakeAt      []int64  // wakeAt[p]: registered wake time (NoWake = none)
+	wakers      []Waker  // cached Waker view of Apps[p] (nil: poll per step)
 	polledWords []uint64 // bitmap of legacy (non-Waker) apps polled per step
 	nPolled     int
 	rescan      bool // Options.FullRescan
 
-	// The incremental census kernel (see census.go).
+	// The incremental census kernel (see census.go). The channel-side
+	// populations live in counts (maintained inline by every channel); the
+	// node-side fields live in census and are folded by trackNode.
+	counts     channel.Counts
 	census     Census
 	scanCensus bool   // Options.ScanCensus
 	tracked    []bool // trackNode reentrancy guard, one flag per process
 
 	// Counters.
 	Steps      int64
-	Delivered  [5]int64 // by message.Kind
+	Delivered  [8]int64 // by message.Kind; only Res..Ctrl (1..4) are used
 	Timeouts   int64
 	AppActions int64
 
@@ -244,23 +272,24 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	n := t.N()
 	s := &Sim{
 		Tree:         t,
 		Cfg:          cfg,
-		Nodes:        make([]*core.Node, t.N()),
-		Apps:         make([]App, t.N()),
-		in:           make([][]*channel.Channel, t.N()),
-		out:          make([][]*channel.Channel, t.N()),
+		Nodes:        make([]*core.Node, n),
+		Apps:         make([]App, n),
 		rng:          rand.New(rand.NewSource(opts.Seed)),
 		sched:        opts.Scheduler,
 		timeoutTicks: opts.TimeoutTicks,
-		envs:         make([]*env, t.N()),
+		arena:        channel.NewArena(),
 		actions:      newActionSet(t),
-		wakeAt:       make([]int64, t.N()),
-		polledWords:  make([]uint64, (t.N()+63)/64),
+		wakeAt:       make([]int64, n),
+		wakes:        make([]wake, 0, n),
+		wakers:       make([]Waker, n),
+		polledWords:  make([]uint64, (n+63)/64),
 		rescan:       opts.FullRescan,
 		scanCensus:   opts.ScanCensus,
-		tracked:      make([]bool, t.N()),
+		tracked:      make([]bool, n),
 	}
 	for p := range s.wakeAt {
 		s.wakeAt[p] = NoWake
@@ -268,45 +297,56 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 	if s.sched == nil {
 		s.sched = NewRandomScheduler()
 	}
+	_, s.randSched = s.sched.(*RandomScheduler)
 	if s.timeoutTicks <= 0 {
 		s.timeoutTicks = DefaultTimeoutTicks(t.RingLen(), cfg.L)
 	}
-	if opts.Observer != nil {
-		s.observers = append(s.observers, opts.Observer)
-	}
-	for p := 0; p < t.N(); p++ {
-		s.in[p] = make([]*channel.Channel, t.Degree(p))
-		s.out[p] = make([]*channel.Channel, t.Degree(p))
-	}
-	for p := 0; p < t.N(); p++ {
+	// Channels, CSR-indexed by deliver ordinal.
+	e := s.actions.e
+	s.chans = make([]channel.Channel, e)
+	s.outOrd = make([]int32, e)
+	emptiness := s.chanEmptiness // one method value shared by all channels
+	for p := 0; p < n; p++ {
 		for ch := 0; ch < t.Degree(p); ch++ {
 			q := t.Neighbor(p, ch)
 			toCh := t.ChannelTo(q, p)
-			c := channel.New(p, ch, q, toCh)
-			s.out[p][ch] = c
-			s.in[q][toCh] = c
+			ord := s.actions.ordDeliver(q, toCh)
+			c := &s.chans[ord]
+			c.From, c.FromCh, c.To, c.ToCh = p, ch, q, toCh
+			s.outOrd[s.actions.ordDeliver(p, ch)] = int32(ord)
+			c.SetArena(s.arena)
 			if !s.rescan {
-				ord := s.actions.ordDeliver(q, toCh)
-				c.OnEmptiness(func(nonempty bool) {
-					s.actions.set(ord, nonempty)
-				})
+				c.OnEmptinessTagged(emptiness, int32(ord))
 			}
 			if !s.scanCensus {
-				c.OnMessage(s.censusMsg)
+				c.SetCounts(&s.counts)
 			}
 		}
 	}
-	for p := 0; p < t.N(); p++ {
-		app := App(nopApp{})
-		s.Apps[p] = app
-		node, err := core.NewNode(cfg, p, t.Degree(p), t.IsRoot(p), appShim{s, p})
+	// Nodes over one shared struct-of-arrays store.
+	vars, err := core.NewVars(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	s.vars = vars
+	s.nodeBuf = make([]core.Node, n)
+	s.envs = make([]env, n)
+	s.handles = make([]handle, n)
+	for p := 0; p < n; p++ {
+		s.Apps[p] = nopApp{}
+		s.wakers[p] = nopApp{}
+		s.envs[p] = env{s: s, p: p, ob: s.actions.base[p]}
+		s.handles[p] = handle{s, p}
+		node, err := vars.Bind(p, p, t.Degree(p), t.IsRoot(p), nopApp{})
 		if err != nil {
 			return nil, err
 		}
-		node.SetObserver(s.fanout)
-		s.Nodes[p] = node
-		s.envs[p] = &env{s: s, p: p}
+		s.nodeBuf[p] = node
+		s.Nodes[p] = &s.nodeBuf[p]
 		s.pollApp(p)
+	}
+	if opts.Observer != nil {
+		s.AddObserver(opts.Observer)
 	}
 	return s, nil
 }
@@ -320,6 +360,12 @@ func MustNew(t *tree.Tree, cfg core.Config, opts Options) *Sim {
 	return s
 }
 
+// chanEmptiness is the shared channel emptiness hook: the tag is the
+// channel's deliver ordinal.
+func (s *Sim) chanEmptiness(ord int32, nonempty bool) {
+	s.actions.set(int(ord), nonempty)
+}
+
 // nopApp is the default application: never requests, never acts.
 type nopApp struct{ core.NopApp }
 
@@ -327,26 +373,30 @@ func (nopApp) Enabled(int64) bool { return false }
 func (nopApp) Act(Handle)         {}
 func (nopApp) WakeAt(int64) int64 { return NoWake }
 
-// appShim adapts the per-process App to the protocol's core.App view,
-// indirecting through the slice so apps can be attached after New.
-type appShim struct {
-	s *Sim
-	p int
-}
-
-func (a appShim) EnterCS()        { a.s.Apps[a.p].EnterCS() }
-func (a appShim) ReleaseCS() bool { return a.s.Apps[a.p].ReleaseCS() }
-
-// AttachApp installs the application driving process p.
+// AttachApp installs the application driving process p. The node's EnterCS/
+// ReleaseCS callbacks are rebound directly to the application — no shim layer
+// on that hot path — so apps MUST be attached through here, never by writing
+// Apps[p].
 func (s *Sim) AttachApp(p int, app App) {
 	s.Apps[p] = app
+	s.nodeBuf[p].SetApp(app)
+	s.wakers[p], _ = app.(Waker)
 	s.unmarkPolled(p)
 	s.wakeAt[p] = NoWake
 	s.pollApp(p)
 }
 
-// AddObserver registers an additional protocol-event monitor.
-func (s *Sim) AddObserver(o core.Observer) { s.observers = append(s.observers, o) }
+// AddObserver registers an additional protocol-event monitor. The node-side
+// event fanout is only installed once the first observer registers, so
+// unobserved simulations skip event construction entirely.
+func (s *Sim) AddObserver(o core.Observer) {
+	s.observers = append(s.observers, o)
+	if len(s.observers) == 1 {
+		for _, n := range s.Nodes {
+			n.SetObserver(s.fanout)
+		}
+	}
+}
 
 func (s *Sim) fanout(e core.Event) {
 	for _, o := range s.observers {
@@ -354,14 +404,17 @@ func (s *Sim) fanout(e core.Event) {
 	}
 }
 
-// env implements core.Env for one process.
+// env implements core.Env for one process. ob caches the process's first
+// sender-side ordinal so Send is two array indexes off the cached value.
 type env struct {
-	s *Sim
-	p int
+	s  *Sim
+	p  int
+	ob int32 // base[p]: first sender-side ordinal of p
 }
 
 func (e *env) Send(ch int, m message.Message) {
-	e.s.out[e.p][ch].Push(m)
+	s := e.s
+	s.chans[s.outOrd[int(e.ob)+ch]].Push(m)
 }
 
 func (e *env) RestartTimer() {
@@ -379,17 +432,16 @@ type handle struct {
 func (h handle) ID() int    { return h.p }
 func (h handle) Now() int64 { return h.s.clock }
 func (h handle) Request(need int) error {
-	var err error
-	h.s.trackNode(h.p, func() {
-		err = h.s.Nodes[h.p].Request(h.s.envs[h.p], need)
-	})
+	d := h.s.beginTrack(h.p)
+	err := h.s.Nodes[h.p].Request(&h.s.envs[h.p], need)
+	h.s.endTrack(h.p, d)
 	h.s.pollApp(h.p)
 	return err
 }
 func (h handle) Poll() {
-	h.s.trackNode(h.p, func() {
-		h.s.Nodes[h.p].Poll(h.s.envs[h.p])
-	})
+	d := h.s.beginTrack(h.p)
+	h.s.Nodes[h.p].Poll(&h.s.envs[h.p])
+	h.s.endTrack(h.p, d)
 	h.s.pollApp(h.p)
 }
 
@@ -397,7 +449,7 @@ func (h handle) Poll() {
 // model admits transitions in which "an external application modifies an
 // input variable", so driving requests through a Handle from outside the
 // scheduler is a legal execution.
-func (s *Sim) Handle(p int) Handle { return handle{s, p} }
+func (s *Sim) Handle(p int) Handle { return &s.handles[p] }
 
 // Now returns the simulation clock (number of executed steps, plus timeout
 // fast-forwards).
@@ -407,17 +459,21 @@ func (s *Sim) Now() int64 { return s.clock }
 func (s *Sim) TimeoutTicks() int64 { return s.timeoutTicks }
 
 // In returns the incoming channel of p with label ch.
-func (s *Sim) In(p, ch int) *channel.Channel { return s.in[p][ch] }
+func (s *Sim) In(p, ch int) *channel.Channel {
+	return &s.chans[s.actions.ordDeliver(p, ch)]
+}
 
 // Out returns the outgoing channel of p with label ch.
-func (s *Sim) Out(p, ch int) *channel.Channel { return s.out[p][ch] }
+func (s *Sim) Out(p, ch int) *channel.Channel {
+	return &s.chans[s.outOrd[s.actions.ordDeliver(p, ch)]]
+}
 
-// Channels calls f on every directed channel.
+// Channels calls f on every directed channel, in sender-lexicographic
+// (From, FromCh) order — the historical iteration order fault injectors'
+// target resolution depends on.
 func (s *Sim) Channels(f func(*channel.Channel)) {
-	for p := range s.out {
-		for _, c := range s.out[p] {
-			f(c)
-		}
+	for _, ord := range s.outOrd {
+		f(&s.chans[ord])
 	}
 }
 
@@ -428,11 +484,9 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // order and returns it: the historical full scan, kept as the oracle for
 // ResyncActions, the FullRescan kernel, and the differential/fuzz tests.
 func (s *Sim) scanEnabled(dst []Action) []Action {
-	for p := range s.in {
-		for ch, c := range s.in[p] {
-			if c.Len() > 0 {
-				dst = append(dst, Action{Kind: ActDeliver, Proc: p, Ch: ch})
-			}
+	for ord := range s.chans {
+		if s.chans[ord].Len() > 0 {
+			dst = append(dst, s.actions.actionOf(ord))
 		}
 	}
 	if s.timerExpired() {
@@ -462,8 +516,8 @@ func (s *Sim) pollApp(p int) {
 	}
 	app := s.Apps[p]
 	ord := s.actions.ordApp(p)
-	w, isWaker := app.(Waker)
-	if !isWaker {
+	w := s.wakers[p]
+	if w == nil {
 		// Non-Waker enablement may flip in EITHER direction on a pure clock
 		// advance, so the app is re-polled every step from now on — whether
 		// it is currently enabled or not.
@@ -474,7 +528,7 @@ func (s *Sim) pollApp(p int) {
 		return
 	}
 	s.actions.remove(ord)
-	if !isWaker {
+	if w == nil {
 		return
 	}
 	t := w.WakeAt(s.clock)
@@ -537,11 +591,9 @@ func (s *Sim) syncActions() {
 // deliver half of a full rebuild, shared by the scan oracle and the resync
 // path so their enablement criterion cannot drift apart.
 func (s *Sim) scanDelivers() {
-	for p := range s.in {
-		for ch, c := range s.in[p] {
-			if c.Len() > 0 {
-				s.actions.add(s.actions.ordDeliver(p, ch))
-			}
+	for ord := range s.chans {
+		if s.chans[ord].Len() > 0 {
+			s.actions.add(ord)
 		}
 	}
 }
@@ -585,7 +637,7 @@ func (s *Sim) Peek(a Action) message.Message {
 	if a.Kind != ActDeliver {
 		panic("sim: Peek on non-deliver action")
 	}
-	return s.in[a.Proc][a.Ch].Peek()
+	return s.chans[s.actions.ordDeliver(a.Proc, a.Ch)].Peek()
 }
 
 // Step executes one scheduler-chosen action. It returns false when the
@@ -608,9 +660,15 @@ func (s *Sim) Step() bool {
 		s.clock = s.lastRestart + s.timeoutTicks
 		s.actions.add(s.actions.ordTimeout())
 	}
-	a := s.sched.Next(s, s.actions)
-	if !s.actions.Contains(a) {
-		panic(fmt.Sprintf("sim: scheduler picked disabled action %v", a))
+	var a Action
+	if s.randSched {
+		// Inlined RandomScheduler.Next: same draw, no interface dispatch.
+		a = s.actions.At(s.rng.Intn(s.actions.Len()))
+	} else {
+		a = s.sched.Next(s, s.actions)
+		if !s.actions.Contains(a) {
+			panic(fmt.Sprintf("sim: scheduler picked disabled action %v", a))
+		}
 	}
 	s.clock++
 	s.Steps++
@@ -618,22 +676,22 @@ func (s *Sim) Step() bool {
 	s.LastMsg = message.Message{}
 	switch a.Kind {
 	case ActDeliver:
-		s.trackNode(a.Proc, func() {
-			m := s.in[a.Proc][a.Ch].Pop()
-			if m.Kind.Valid() {
-				s.Delivered[m.Kind]++
-			}
-			s.LastMsg = m
-			s.Nodes[a.Proc].HandleMessage(a.Ch, m, s.envs[a.Proc])
-		})
+		d := s.beginTrack(a.Proc)
+		m := s.chans[s.actions.ordDeliver(a.Proc, a.Ch)].Pop()
+		if m.Kind.Valid() {
+			s.Delivered[m.Kind&7]++
+		}
+		s.LastMsg = m
+		s.Nodes[a.Proc].HandleMessage(a.Ch, m, &s.envs[a.Proc])
+		s.endTrack(a.Proc, d)
 	case ActTimeout:
 		s.Timeouts++
-		s.trackNode(a.Proc, func() {
-			s.Nodes[a.Proc].HandleTimeout(s.envs[a.Proc])
-		})
+		d := s.beginTrack(a.Proc)
+		s.Nodes[a.Proc].HandleTimeout(&s.envs[a.Proc])
+		s.endTrack(a.Proc, d)
 	case ActApp:
 		s.AppActions++
-		s.Apps[a.Proc].Act(handle{s, a.Proc})
+		s.Apps[a.Proc].Act(&s.handles[a.Proc])
 	}
 	// The executed action is the only place application enablement can have
 	// changed without a channel hook or Handle call firing (EnterCS during a

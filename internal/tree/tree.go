@@ -10,6 +10,12 @@
 // on channel i+1 (mod Degree). The resulting closed walk over the tree's
 // directed edges is the "virtual ring" of the paper (Figure 4); it has
 // exactly 2(n-1) positions.
+//
+// Trees store children in compressed-sparse-row form — one shared buffer
+// plus per-process offsets instead of n little slices — and every
+// construction path (validation, Prüfer decode, the shape generators) is
+// O(n) with exact-capacity allocations, so building a topology of 2²⁰
+// processes costs two dozen megabytes and milliseconds, not quadratic time.
 package tree
 
 import (
@@ -24,9 +30,14 @@ const NoParent = -1
 // Tree is an immutable oriented rooted tree over processes 0..N()-1.
 // Process 0 is always the root.
 type Tree struct {
-	parent   []int   // parent[p]; parent[root] == NoParent
-	children [][]int // children[p] in channel-label order
-	names    []string
+	parent []int // parent[p]; parent[root] == NoParent
+
+	// Children in CSR form: childBuf[childOff[p]:childOff[p+1]] are p's
+	// children in channel-label (ascending id) order.
+	childOff []int32
+	childBuf []int
+
+	names []string
 }
 
 // New builds a tree from a parent array. parents[0] must be NoParent (process
@@ -43,7 +54,8 @@ func New(parents []int) (*Tree, error) {
 	}
 	t := &Tree{
 		parent:   make([]int, n),
-		children: make([][]int, n),
+		childOff: make([]int32, n+1),
+		childBuf: make([]int, n-1),
 	}
 	copy(t.parent, parents)
 	for p := 1; p < n; p++ {
@@ -54,14 +66,41 @@ func New(parents []int) (*Tree, error) {
 		if pp == p {
 			return nil, fmt.Errorf("tree: process %d is its own parent", p)
 		}
-		t.children[pp] = append(t.children[pp], p)
+		t.childOff[pp+1]++
 	}
-	// Verify connectivity (every process reaches the root without a cycle).
+	for p := 0; p < n; p++ {
+		t.childOff[p+1] += t.childOff[p]
+	}
+	// Fill in ascending child id order using the offsets as cursors, then
+	// shift them back down one slot.
 	for p := 1; p < n; p++ {
-		seen := 0
-		for q := p; q != 0; q = t.parent[q] {
-			seen++
-			if seen > n {
+		pp := parents[p]
+		t.childBuf[t.childOff[pp]] = p
+		t.childOff[pp]++
+	}
+	for p := n; p > 0; p-- {
+		t.childOff[p] = t.childOff[p-1]
+	}
+	t.childOff[0] = 0
+	// Verify connectivity with one BFS from the root: n-1 parent edges and
+	// every process reached means a tree; anything unreached sits on a cycle
+	// disconnected from the root.
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := make([]int, 1, n)
+	reached := 1
+	for head := 0; head < len(queue); head++ {
+		for _, c := range t.Children(queue[head]) {
+			if !seen[c] {
+				seen[c] = true
+				reached++
+				queue = append(queue, c)
+			}
+		}
+	}
+	if reached != n {
+		for p := 1; p < n; p++ {
+			if !seen[p] {
 				return nil, fmt.Errorf("tree: cycle through process %d", p)
 			}
 		}
@@ -92,25 +131,29 @@ func (t *Tree) Parent(p int) int { return t.parent[p] }
 
 // Children returns p's children in channel-label order. The returned slice
 // must not be modified.
-func (t *Tree) Children(p int) []int { return t.children[p] }
+func (t *Tree) Children(p int) []int { return t.childBuf[t.childOff[p]:t.childOff[p+1]] }
+
+// nChildren returns the number of children of p without materializing the
+// slice header.
+func (t *Tree) nChildren(p int) int { return int(t.childOff[p+1] - t.childOff[p]) }
 
 // Degree returns ∆p, the number of channels (neighbors) of p.
 func (t *Tree) Degree(p int) int {
 	if t.IsRoot(p) {
-		return len(t.children[p])
+		return t.nChildren(p)
 	}
-	return len(t.children[p]) + 1
+	return t.nChildren(p) + 1
 }
 
 // Neighbor returns the process at the far end of p's channel ch.
 func (t *Tree) Neighbor(p, ch int) int {
 	if t.IsRoot(p) {
-		return t.children[p][ch]
+		return t.childBuf[int(t.childOff[p])+ch]
 	}
 	if ch == 0 {
 		return t.parent[p]
 	}
-	return t.children[p][ch-1]
+	return t.childBuf[int(t.childOff[p])+ch-1]
 }
 
 // ChannelTo returns the label of p's channel leading to neighbor q.
@@ -123,7 +166,7 @@ func (t *Tree) ChannelTo(p, q int) int {
 	if !t.IsRoot(p) {
 		base = 1
 	}
-	for i, c := range t.children[p] {
+	for i, c := range t.Children(p) {
 		if c == q {
 			return base + i
 		}
@@ -132,7 +175,7 @@ func (t *Tree) ChannelTo(p, q int) int {
 }
 
 // IsLeaf reports whether p has no children.
-func (t *Tree) IsLeaf(p int) bool { return len(t.children[p]) == 0 }
+func (t *Tree) IsLeaf(p int) bool { return t.nChildren(p) == 0 }
 
 // Depth returns the number of edges between p and the root.
 func (t *Tree) Depth(p int) int {
@@ -143,15 +186,23 @@ func (t *Tree) Depth(p int) int {
 	return d
 }
 
-// Height returns the maximum depth over all processes.
+// Height returns the maximum depth over all processes, in one BFS.
 func (t *Tree) Height() int {
-	h := 0
-	for p := 0; p < t.N(); p++ {
-		if d := t.Depth(p); d > h {
-			h = d
+	n := t.N()
+	depth := make([]int32, n)
+	queue := make([]int, 1, n)
+	h := int32(0)
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		for _, c := range t.Children(p) {
+			depth[c] = depth[p] + 1
+			if depth[c] > h {
+				h = depth[c]
+			}
+			queue = append(queue, c)
 		}
 	}
-	return h
+	return int(h)
 }
 
 // SetName attaches a display name to process p (used in traces and figures).
@@ -176,11 +227,11 @@ func (t *Tree) String() string {
 	var rec func(p int)
 	rec = func(p int) {
 		b.WriteString(t.Name(p))
-		if len(t.children[p]) == 0 {
+		if t.IsLeaf(p) {
 			return
 		}
 		b.WriteByte('(')
-		for i, c := range t.children[p] {
+		for i, c := range t.Children(p) {
 			if i > 0 {
 				b.WriteByte(' ')
 			}
@@ -263,10 +314,16 @@ func Balanced(arity, depth int) *Tree {
 	if arity < 1 || depth < 1 {
 		panic("tree: Balanced needs arity ≥ 1 and depth ≥ 1")
 	}
-	parents := []int{NoParent}
+	total, level := 1, 1
+	for d := 0; d < depth; d++ {
+		level *= arity
+		total += level
+	}
+	parents := make([]int, 1, total)
+	parents[0] = NoParent
 	frontier := []int{0}
 	for d := 0; d < depth; d++ {
-		var next []int
+		next := make([]int, 0, len(frontier)*arity)
 		for _, p := range frontier {
 			for i := 0; i < arity; i++ {
 				id := len(parents)
@@ -285,18 +342,18 @@ func Caterpillar(spine, legs int) *Tree {
 	if spine < 1 {
 		panic("tree: Caterpillar needs spine ≥ 1")
 	}
-	parents := []int{NoParent}
+	parents := make([]int, 1, spine*(1+max(legs, 0))+1)
+	parents[0] = NoParent
 	prev := 0
-	spineIDs := []int{0}
 	for s := 1; s < spine; s++ {
 		id := len(parents)
 		parents = append(parents, prev)
 		prev = id
-		spineIDs = append(spineIDs, id)
 	}
-	for _, s := range spineIDs {
+	for s := 0; s < spine; s++ {
+		spineID := s // spine ids are 0..spine-1 in construction order
 		for l := 0; l < legs; l++ {
-			parents = append(parents, s)
+			parents = append(parents, spineID)
 		}
 	}
 	if len(parents) < 2 {
@@ -336,23 +393,36 @@ func Prufer(n int, rng *rand.Rand) *Tree {
 }
 
 // pruferDecode builds the labeled tree encoded by a Prüfer sequence of
-// length n-2 and roots it at process 0.
+// length n-2 and roots it at process 0. The adjacency is CSR over one
+// 2(n-1)-entry buffer (final degrees are known from the sequence up front)
+// and the rooting BFS runs over a preallocated queue, so decoding is O(n)
+// with a handful of exact-size allocations.
 func pruferDecode(n int, seq []int) *Tree {
-	adj := make([][]int, n)
+	// deg[v] = 1 + occurrences of v in seq: the final degree of v.
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range seq {
+		deg[v]++
+	}
+	// CSR adjacency offsets from the final degrees; cur are fill cursors.
+	adjOff := make([]int32, n+1)
+	for i, d := range deg {
+		adjOff[i+1] = adjOff[i] + d
+	}
+	adjBuf := make([]int32, 2*(n-1))
+	cur := make([]int32, n)
+	copy(cur, adjOff[:n])
 	addEdge := func(u, v int) {
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		adjBuf[cur[u]] = int32(v)
+		cur[u]++
+		adjBuf[cur[v]] = int32(u)
+		cur[v]++
 	}
 	if n == 2 {
 		addEdge(0, 1)
 	} else {
-		deg := make([]int, n)
-		for i := range deg {
-			deg[i] = 1
-		}
-		for _, v := range seq {
-			deg[v]++
-		}
 		// Linear decode: ptr sweeps the labels once; leaf tracks the current
 		// smallest-degree-1 label, dropping below ptr only when a removal
 		// creates a smaller leaf.
@@ -376,19 +446,18 @@ func pruferDecode(n int, seq []int) *Tree {
 		}
 		addEdge(leaf, n-1)
 	}
-	// Root the tree at process 0 via BFS.
+	// Root the tree at process 0 via BFS over the CSR adjacency.
 	parents := make([]int, n)
 	parents[0] = NoParent
 	seen := make([]bool, n)
 	seen[0] = true
-	queue := []int{0}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range adj[u] {
+	queue := make([]int32, 1, n)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range adjBuf[adjOff[u]:adjOff[u+1]] {
 			if !seen[v] {
 				seen[v] = true
-				parents[v] = u
+				parents[v] = int(u)
 				queue = append(queue, v)
 			}
 		}
@@ -506,7 +575,8 @@ func Spider(legs, legLen int) *Tree {
 	if legs < 1 || legLen < 1 {
 		panic("tree: Spider needs legs ≥ 1 and legLen ≥ 1")
 	}
-	parents := []int{NoParent}
+	parents := make([]int, 1, 1+legs*legLen)
+	parents[0] = NoParent
 	for l := 0; l < legs; l++ {
 		prev := 0
 		for d := 0; d < legLen; d++ {

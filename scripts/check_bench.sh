@@ -16,6 +16,13 @@
 #     at the standard 64-cell grid. A per-step allocation regression
 #     multiplies the number by the 10k steps per slot, so a generous ceiling
 #     still catches it instantly.
+#  3. The big-n scaling record (BENCH_scale.json) must carry the full curve
+#     — at least the n=65536 point — and no point of it may allocate per
+#     step. The kernel's steady-state contract is zero heap allocations per
+#     step; any real regression shows up as >= ~0.3 allocs/step (one box per
+#     app action), while honest measurement noise (amortized slab growth
+#     over millions of steps) is < 1e-5, so the 0.001 threshold separates
+#     them with five orders of magnitude to spare.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -45,6 +52,19 @@ if [ -f BENCH_campaign.json ]; then
     elif [ "${aps%.*}" -gt "$ALLOC_CEILING" ]; then
         err "BENCH_campaign.json: $aps allocs/slot exceeds ceiling $ALLOC_CEILING (per-step allocation regression?)"
     fi
+fi
+
+if [ -f BENCH_scale.json ]; then
+    grep -q '"n": 65536' BENCH_scale.json \
+        || err "BENCH_scale.json: curve is missing the n=65536 point (partial -short run recorded?)"
+    # Every allocs_per_step on the curve must be effectively zero (< 0.001).
+    aps_list=$(sed -n 's/^.*"allocs_per_step": *\([0-9][0-9.e+-]*\).*$/\1/p' BENCH_scale.json)
+    [ -n "$aps_list" ] || err "BENCH_scale.json: no allocs_per_step fields found (schema drift?)"
+    for aps in $aps_list; do
+        if [ "$(awk "BEGIN { print ($aps < 0.001) ? 1 : 0 }")" != 1 ]; then
+            err "BENCH_scale.json: $aps allocs/step on the curve breaks the zero-allocation contract"
+        fi
+    done
 fi
 
 [ "$fail" -eq 0 ] && echo "check_bench: OK"

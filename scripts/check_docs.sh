@@ -34,6 +34,15 @@ grep -q 'func BenchmarkCampaignScaling' bench_test.go || err "BenchmarkCampaignS
 # (ISSUE.md/CHANGES.md are historical records and may name the old bench.)
 grep -rq 'BenchmarkCampaignSpeedup' README.md docs internal/campaign/README.md .github && err "stale BenchmarkCampaignSpeedup reference (replaced by BenchmarkCampaignScaling)" || true
 
+# The memory-model section documents the big-n kernel: the section itself,
+# the scale bench it points at, and the zero-allocation test that enforces
+# its contract must all still exist.
+grep -q 'Memory model' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the memory-model section"
+grep -q 'func BenchmarkBigNScale' bench_test.go || err "BenchmarkBigNScale gone but documented"
+grep -q 'BENCH_scale.json' README.md || err "README.md no longer documents BENCH_scale.json"
+grep -q 'func TestZeroAllocSteadyState' internal/sim/bign_test.go || err "TestZeroAllocSteadyState gone but documented"
+grep -q 'cpuprofile' cmd/koflbench/main.go || err "koflbench -cpuprofile gone but documented"
+
 # The worker model is documented in both the campaign README and the
 # architecture doc, and its bench-record guard must exist and be executable.
 grep -q 'Worker model and parallel scaling' internal/campaign/README.md || err "campaign README lost the worker-model section"
