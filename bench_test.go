@@ -25,6 +25,8 @@ import (
 	"kofl/internal/core"
 	"kofl/internal/experiments"
 	"kofl/internal/message"
+	"kofl/internal/serve"
+	"kofl/internal/serve/loadgen"
 	"kofl/internal/sim"
 	"kofl/internal/tree"
 	"kofl/internal/workload"
@@ -730,4 +732,72 @@ func BenchmarkWaitingMonitor(b *testing.B) {
 			})
 		})
 	})
+}
+
+// BenchmarkServe measures the lease server end to end: open-loop offered
+// load swept over three rates against a live TCP server on the paper's tree,
+// recording throughput and p50/p95/p99 acquire latency per rate into
+// BENCH_serve.json (guarded by scripts/check_bench.sh: every point must have
+// completed acquires and non-empty percentiles). The latency is measured
+// from the scheduled arrival — coordinated-omission corrected — so the p99
+// honestly includes queueing behind the protocol's token circulation.
+func BenchmarkServe(b *testing.B) {
+	rates := []float64{100, 400, 1600}
+	var entries []loadgen.Result
+	for i := 0; i < b.N; i++ {
+		entries = entries[:0]
+		for _, rate := range rates {
+			// QueueDepth 8 keeps the post-schedule drain bounded: the sweep
+			// measures steady-state shedding behavior, not how long a huge
+			// backlog takes to empty at protocol speed.
+			s, err := serve.New(tree.Paper(), serve.Options{K: 3, L: 5, QueueDepth: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			res, err := loadgen.Run(loadgen.Config{
+				Addr:     s.Addr(),
+				Clients:  8,
+				Rate:     rate,
+				Duration: 1500 * time.Millisecond,
+				MaxUnits: 3,
+				Seed:     int64(rate),
+			})
+			s.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Violations != 0 {
+				b.Fatalf("rate %v: %d protocol violations", rate, res.Violations)
+			}
+			entries = append(entries, res)
+		}
+	}
+	last := entries[len(entries)-1]
+	b.ReportMetric(last.ThroughputPerSec, "acquires/sec@1600")
+	b.ReportMetric(float64(last.LatencyP99us), "p99-us@1600")
+	record := struct {
+		Name       string           `json:"name"`
+		Tree       string           `json:"tree"`
+		K          int              `json:"k"`
+		L          int              `json:"l"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Entries    []loadgen.Result `json:"entries"`
+	}{
+		Name:       "BENCH-serve",
+		Tree:       "paper",
+		K:          3,
+		L:          5,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Entries:    entries,
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

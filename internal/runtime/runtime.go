@@ -8,7 +8,7 @@ package runtime
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -21,8 +21,10 @@ import (
 
 // DefaultLinkBuffer is the per-link frame buffer. The stabilized token
 // population is ℓ+3 plus bounded controller duplicates, so this never fills
-// in practice; Send panics rather than blocks if it does (a full link under
-// this model is a sizing bug, not a protocol state).
+// in practice; if it does fill, Send drops the frame and counts it — message
+// loss is inside the protocol's fault model (a wrong census makes the
+// controller flush and recreate the token population), so a saturated
+// network degrades into extra stabilization work instead of crashing.
 const DefaultLinkBuffer = 256
 
 // Options configures a live network.
@@ -34,6 +36,11 @@ type Options struct {
 	// Observer receives protocol events; it is called from process
 	// goroutines and must be safe for concurrent use (may be nil).
 	Observer core.Observer
+	// OnDrop is called whenever a full link forces a frame drop (sender p,
+	// channel ch). Like Observer it runs on process goroutines and must be
+	// safe for concurrent use (may be nil). The FramesDropped counter is
+	// maintained regardless.
+	OnDrop func(p, ch int)
 }
 
 // delivery is one decoded frame arriving on a labeled channel.
@@ -60,11 +67,13 @@ type Net struct {
 	started atomic.Bool
 
 	wg     sync.WaitGroup
+	ctx    context.Context // set by Start; stopped() keys off it
 	cancel context.CancelFunc
 
 	// Counters (atomic).
 	framesDelivered atomic.Int64
 	framesRejected  atomic.Int64 // checksum/decoding failures (injected noise)
+	framesDropped   atomic.Int64 // full-link drops (backpressure signal)
 	grants          atomic.Int64
 }
 
@@ -159,13 +168,26 @@ type liveEnv struct {
 	timer *time.Timer
 }
 
+// Send frames m onto the outgoing link. A full link drops the frame instead
+// of blocking (which would deadlock the process loop) or panicking (which
+// would take the whole network down under overload): token loss is a
+// transient fault the self-stabilizing construction already repairs, so the
+// observable contract under saturation is a counted drop plus extra
+// stabilization work, never a crash.
 func (e *liveEnv) Send(ch int, m message.Message) {
 	frame := message.Encode(nil, m)
 	select {
 	case e.pr.out[ch] <- frame:
 	default:
-		panic(fmt.Sprintf("runtime: link %d:%d full (%d frames) — undersized buffer",
-			e.pr.id, ch, cap(e.pr.out[ch])))
+		e.pr.net.drop(e.pr.id, ch)
+	}
+}
+
+// drop records one full-link frame drop by sender p on its channel ch.
+func (n *Net) drop(p, ch int) {
+	n.framesDropped.Add(1)
+	if n.opts.OnDrop != nil {
+		n.opts.OnDrop(p, ch)
 	}
 }
 
@@ -182,6 +204,7 @@ func (n *Net) Start(ctx context.Context) {
 		panic("runtime: Start called twice")
 	}
 	ctx, n.cancel = context.WithCancel(ctx)
+	n.ctx = ctx
 	for _, pr := range n.procs {
 		// One pump per incoming link preserves per-channel FIFO while
 		// merging the process's channels into a single inbox.
@@ -260,21 +283,48 @@ func (n *Net) Stop() {
 	n.wg.Wait()
 }
 
+// ErrStopped is returned by Request when the network shut down before the
+// process could answer.
+var ErrStopped = errors.New("runtime: network stopped")
+
+// stopped exposes the network's shutdown signal (nil before Start, which a
+// select treats as never-ready — Request/Release before Start keep the old
+// blocking behavior).
+func (n *Net) stopped() <-chan struct{} {
+	if n.ctx == nil {
+		return nil
+	}
+	return n.ctx.Done()
+}
+
 // Request asks process p for need units; it returns the protocol's answer
-// (an error unless the process was in state Out).
+// (an error unless the process was in state Out), or ErrStopped if the
+// network shut down before the process could answer.
 func (n *Net) Request(p, need int) error {
 	reply := make(chan error, 1)
-	n.procs[p].cmds <- appCmd{request: need, reply: reply}
-	return <-reply
+	select {
+	case n.procs[p].cmds <- appCmd{request: need, reply: reply}:
+	case <-n.stopped():
+		return ErrStopped
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-n.stopped():
+		return ErrStopped
+	}
 }
 
 // Release signals that process p's application finished its critical
-// section.
+// section. A Release racing network shutdown is a no-op.
 func (n *Net) Release(p int) {
 	pr := n.procs[p]
 	pr.releaseRq.Store(true)
 	pr.inCS.Store(false)
-	pr.cmds <- appCmd{request: -1, poll: true}
+	select {
+	case pr.cmds <- appCmd{request: -1, poll: true}:
+	case <-n.stopped():
+	}
 }
 
 // OnEnter registers a grant callback for process p (call before Start). It
@@ -290,36 +340,49 @@ func (n *Net) FramesDelivered() int64 { return n.framesDelivered.Load() }
 // FramesRejected returns the number of frames dropped by the wire layer.
 func (n *Net) FramesRejected() int64 { return n.framesRejected.Load() }
 
-// InjectGarbage seeds up to the configuration's CMAX random well-formed
-// protocol messages into every link — the paper's initial-channel fault
-// model. Must be called before Start.
-func (n *Net) InjectGarbage(seed int64) {
-	if n.started.Load() {
-		panic("runtime: InjectGarbage after Start")
+// FramesDropped returns the number of frames dropped because a link was
+// full — the backpressure signal of a saturated network (Send drops, and
+// pre-Start injection overflow drops, both count).
+func (n *Net) FramesDropped() int64 { return n.framesDropped.Load() }
+
+// inject places one raw frame on the link into p on channel ch, dropping
+// (and counting) it if the link is full — injection must never block or
+// crash the network it is attacking.
+func (n *Net) inject(p, ch int, frame []byte) {
+	select {
+	case n.links[p][ch] <- frame:
+	default:
+		n.drop(p, ch)
 	}
+}
+
+// InjectGarbage seeds up to the configuration's CMAX random well-formed
+// protocol messages into every link. Before Start this is the paper's
+// initial-channel fault model; after Start it is live churn — mid-run token
+// corruption the controller must flush away while the network keeps serving.
+// Frames that find a full link are dropped and counted, never blocked on.
+func (n *Net) InjectGarbage(seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	for p := range n.links {
-		for _, link := range n.links[p] {
+		for ch := range n.links[p] {
 			for i := rng.Intn(n.cfg.CMAX + 1); i > 0; i-- {
-				link <- message.Encode(nil, message.Random(rng, n.cfg.CounterMod(), n.cfg.L))
+				n.inject(p, ch, message.Encode(nil, message.Random(rng, n.cfg.CounterMod(), n.cfg.L)))
 			}
 		}
 	}
 }
 
 // InjectNoise seeds raw random byte frames (not necessarily well-formed)
-// into random links, exercising the wire layer's rejection path. Must be
-// called before Start.
+// into random links, exercising the wire layer's rejection path. Like
+// InjectGarbage it may be called before Start (initial noise) or mid-run
+// (live interference), and drops rather than blocks on a full link.
 func (n *Net) InjectNoise(seed int64, frames int) {
-	if n.started.Load() {
-		panic("runtime: InjectNoise after Start")
-	}
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < frames; i++ {
 		p := rng.Intn(len(n.links))
 		ch := rng.Intn(len(n.links[p]))
 		frame := make([]byte, message.FrameSize)
 		rng.Read(frame)
-		n.links[p][ch] <- frame
+		n.inject(p, ch, frame)
 	}
 }

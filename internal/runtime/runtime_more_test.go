@@ -27,19 +27,40 @@ func TestLiveDoubleStartPanics(t *testing.T) {
 	n.Start(context.Background())
 }
 
-// TestLiveInjectAfterStartPanics pins the injection contract.
-func TestLiveInjectAfterStartPanics(t *testing.T) {
+// TestLiveInjectMidRun pins the injection contract: InjectGarbage and
+// InjectNoise are legal while the network is running (live churn — the
+// serving layer's fault model), the wire layer rejects the noise, and the
+// network keeps serving afterwards.
+func TestLiveInjectMidRun(t *testing.T) {
 	tr := tree.Chain(3)
 	cfg := core.Config{K: 1, L: 1, CMAX: 2, Features: core.Full()}
 	n := startNet(t, tr, cfg, runtime.Options{Timeout: 5 * time.Millisecond})
+	granted := make(chan int, 16)
+	for p := 0; p < tr.N(); p++ {
+		n.OnEnter(p, func(p int) { granted <- p })
+	}
 	n.Start(context.Background())
 	defer n.Stop()
-	defer func() {
-		if recover() == nil {
-			t.Error("InjectGarbage after Start did not panic")
-		}
-	}()
 	n.InjectGarbage(1)
+	n.InjectNoise(2, 40)
+	if err := n.Request(1, 1); err != nil {
+		t.Fatalf("request after mid-run injection: %v", err)
+	}
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case p := <-granted:
+			if p == 1 {
+				n.Release(1)
+				if n.FramesRejected() == 0 {
+					t.Error("expected the wire layer to reject injected noise")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no grant after mid-run injection")
+		}
+	}
 }
 
 // TestLiveRequestErrors: the protocol refuses a second request while one is

@@ -1,0 +1,228 @@
+// Package serve is the network-facing resource-lease layer over the live
+// runtime: external clients lease up to k of the ℓ resource units of a
+// k-out-of-ℓ exclusion tree over a length-prefixed JSON TCP protocol.
+//
+// The serving model:
+//
+//   - Session multiplexing. Each accepted connection is a session, assigned
+//     round-robin to one tree process; every acquire on that session is
+//     served by that process. A process serves one lease at a time (the
+//     protocol's Out→Req→In interface), so per-process acquires queue.
+//   - Backpressure. The per-process queue is bounded; a full queue rejects
+//     the acquire with the "overload" code immediately — the server sheds
+//     load explicitly instead of buffering without bound or crashing (the
+//     runtime's full-link path likewise degrades into counted frame drops).
+//   - Idempotence. Acquire responses are cached in a TTL-keyed dedupe store
+//     under the client-chosen request id, so a client that retries after a
+//     lost response gets the original grant back instead of a second lease.
+//   - Leases expire. Every grant carries a TTL (request-chosen, clamped to
+//     the server maximum); an unreleased lease is auto-released when it
+//     expires, so client crashes cannot strand resource units.
+//
+// Wire format: each frame is a 4-byte big-endian length followed by one JSON
+// object (a Request from clients, a Response from the server). Responses are
+// matched to requests by the client-chosen id, not by ordering — the server
+// answers release/stats frames while an acquire on the same session is still
+// queued.
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame body; a longer announced length is a protocol
+// error (and keeps a hostile client from making the server buffer gigabytes).
+const MaxFrame = 64 << 10
+
+// Request ops.
+const (
+	OpAcquire = "acquire"
+	OpRelease = "release"
+	OpStats   = "stats"
+)
+
+// Response error codes (Response.Err). CodeErr maps them to the exported
+// sentinel errors.
+const (
+	CodeOverload  = "overload"
+	CodeDeadline  = "deadline"
+	CodeDraining  = "draining"
+	CodePending   = "pending"
+	CodeMalformed = "malformed"
+)
+
+// Sentinel errors for the response codes above.
+var (
+	// ErrOverload rejects an acquire that found its process queue full: the
+	// explicit load-shedding signal of a saturated server.
+	ErrOverload = errors.New("serve: overload (process queue full)")
+	// ErrDeadline rejects an acquire whose queue-wait deadline passed
+	// before the units could be granted.
+	ErrDeadline = errors.New("serve: acquire deadline exceeded")
+	// ErrDraining rejects an acquire that reached a server shutting down.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrPending rejects an acquire whose request id is already in flight.
+	ErrPending = errors.New("serve: duplicate request id still in flight")
+	// ErrMalformed rejects a frame that did not parse or validate.
+	ErrMalformed = errors.New("serve: malformed request")
+)
+
+// CodeErr maps a Response error code to its sentinel error (nil for an empty
+// code; a generic error for an unknown one, so clients can always errors.Is).
+func CodeErr(code string) error {
+	switch code {
+	case "":
+		return nil
+	case CodeOverload:
+		return ErrOverload
+	case CodeDeadline:
+		return ErrDeadline
+	case CodeDraining:
+		return ErrDraining
+	case CodePending:
+		return ErrPending
+	case CodeMalformed:
+		return ErrMalformed
+	default:
+		return fmt.Errorf("serve: server error %q", code)
+	}
+}
+
+// Request is one client frame.
+type Request struct {
+	// Op is one of acquire, release, stats.
+	Op string `json:"op"`
+	// ID is the client-chosen request id: the dedupe key for acquires and
+	// the correlation id every response echoes. Required, ≤ 128 bytes, and
+	// expected to be globally unique per logical request (retries reuse it —
+	// that is what makes acquire idempotent).
+	ID string `json:"id"`
+	// Units is the acquire size (1 ≤ units ≤ k).
+	Units int `json:"units,omitempty"`
+	// DeadlineMS bounds the queue wait of an acquire in milliseconds
+	// (0 = wait indefinitely). A request still queued when it passes is
+	// rejected with the deadline code.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// LeaseMS is the requested lease TTL in milliseconds (0 = server
+	// default; always clamped to the server maximum).
+	LeaseMS int64 `json:"lease_ms,omitempty"`
+	// Lease is the lease id to release (release op only).
+	Lease string `json:"lease,omitempty"`
+}
+
+// Validate checks the request against the protocol rules and the server's
+// per-request cap k (k ≤ 0 skips the bound check, for contexts that do not
+// know the tree yet).
+func (r *Request) Validate(k int) error {
+	if r.ID == "" {
+		return fmt.Errorf("missing request id")
+	}
+	if len(r.ID) > 128 {
+		return fmt.Errorf("request id longer than 128 bytes")
+	}
+	switch r.Op {
+	case OpAcquire:
+		if r.Units < 1 {
+			return fmt.Errorf("acquire of %d units (need ≥ 1)", r.Units)
+		}
+		if k > 0 && r.Units > k {
+			return fmt.Errorf("acquire of %d units exceeds k=%d", r.Units, k)
+		}
+		if r.DeadlineMS < 0 || r.LeaseMS < 0 {
+			return fmt.Errorf("negative deadline_ms/lease_ms")
+		}
+	case OpRelease:
+		if r.Lease == "" {
+			return fmt.Errorf("release without lease id")
+		}
+	case OpStats:
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// Response is one server frame, correlated to its request by ID.
+type Response struct {
+	ID string `json:"id"`
+	OK bool   `json:"ok"`
+	// Err is a response code from the Code… set ("" when OK); CodeErr maps
+	// it back to a sentinel error. Detail carries the human-readable cause.
+	Err    string `json:"error,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Grant fields (acquire only).
+	Lease   string `json:"lease,omitempty"`
+	Units   int    `json:"units,omitempty"`
+	Process int    `json:"process,omitempty"`
+	// Stats payload (stats op only).
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// ParseRequest decodes one request body strictly: unknown fields, trailing
+// data and non-object bodies are all errors, never panics.
+func ParseRequest(b []byte) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("serve: bad request frame: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("serve: trailing data after request object")
+	}
+	return &r, nil
+}
+
+// parseResponse decodes one response body (client side). Unknown fields are
+// tolerated here — a newer server may answer with more than we know.
+func parseResponse(b []byte) (*Response, error) {
+	var r Response
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("serve: bad response frame: %w", err)
+	}
+	return &r, nil
+}
+
+// WriteFrame writes v as one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("serve: frame body %d bytes exceeds MaxFrame", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body. A zero or over-MaxFrame
+// announced length is a protocol error.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("serve: zero-length frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("serve: announced frame length %d exceeds MaxFrame", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kofl/internal/tree"
+)
+
+// TestServeChurnMatrix is the race-mode integration matrix: N concurrent
+// clients churning acquire/release against a live tree while garbage and
+// noise are injected mid-run. It asserts the serving layer's safety story:
+//
+//   - every grant is 1..k units (no response ever over-grants a client);
+//   - after the faults are consumed and the protocol re-stabilizes, the
+//     units-held watermark never exceeds ℓ (the paper's safety property,
+//     observed at the lease layer);
+//   - the server keeps granting after the fault burst (liveness — the
+//     declared churn is inside the self-stabilizing fault model).
+//
+// During the fault burst itself the watermark is unconstrained: garbage
+// tokens can transiently over-provision a self-stabilizing system, which is
+// exactly why the assertion window starts after re-stabilization.
+func TestServeChurnMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn matrix in -short mode")
+	}
+	cases := []struct {
+		name    string
+		tr      *tree.Tree
+		k, l    int
+		clients int
+	}{
+		{"paper-k3-l5-c12", tree.Paper(), 3, 5, 12},
+		{"star8-k2-l3-c16", tree.Star(8), 2, 3, 16},
+		{"chain6-k1-l1-c8", tree.Chain(6), 1, 1, 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := startServer(t, tc.tr, Options{K: tc.k, L: tc.l, QueueDepth: 8})
+
+			ctx, stop := context.WithCancel(context.Background())
+			defer stop()
+			var wg sync.WaitGroup
+			var unitViolations atomic.Int64
+			for i := 0; i < tc.clients; i++ {
+				c := dial(t, s)
+				rng := rand.New(rand.NewSource(int64(i) + 1))
+				wg.Add(1)
+				go func(c *Client, rng *rand.Rand) {
+					defer wg.Done()
+					for ctx.Err() == nil {
+						units := 1 + rng.Intn(tc.k)
+						l, err := c.Acquire(units, 500*time.Millisecond)
+						if err != nil {
+							continue // overload/deadline rejects are expected churn
+						}
+						if l.Units < 1 || l.Units > tc.k {
+							unitViolations.Add(1)
+						}
+						time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+						c.Release(l.ID)
+					}
+				}(c, rng)
+			}
+
+			// Fault burst mid-churn: well-formed garbage tokens plus raw
+			// byte noise, three waves.
+			time.Sleep(200 * time.Millisecond)
+			for wave := int64(0); wave < 3; wave++ {
+				s.InjectGarbage(40 + wave)
+				s.InjectNoise(41+wave, 64)
+				time.Sleep(50 * time.Millisecond)
+			}
+
+			// Let the protocol consume the faults and re-stabilize, then
+			// open the safety-assertion window.
+			time.Sleep(1500 * time.Millisecond)
+			s.ResetMaxUnitsHeld()
+			grantsBefore := s.Stats().Grants
+			time.Sleep(1 * time.Second)
+			maxHeld := s.MaxUnitsHeld()
+			grantsAfter := s.Stats().Grants
+			stop()
+			wg.Wait()
+
+			if v := unitViolations.Load(); v != 0 {
+				t.Errorf("%d grants outside 1..k", v)
+			}
+			if maxHeld > int64(tc.l) {
+				t.Errorf("post-stabilization units-held watermark %d exceeds l=%d", maxHeld, tc.l)
+			}
+			if grantsAfter == grantsBefore {
+				t.Errorf("no grants in the post-stabilization window (liveness lost)")
+			}
+			st := s.Stats()
+			t.Logf("grants=%d overloads=%d deadlines=%d expired=%d framesRejected=%d framesDropped=%d maxHeld=%d",
+				st.Grants, st.Overloads, st.DeadlineRejects, st.Expired, st.FramesRejected, st.FramesDropped, maxHeld)
+		})
+	}
+}
+
+// TestServeFaultFreeWatermark pins the invariant without any injection: in a
+// fault-free run the watermark must respect ℓ from the first grant on.
+func TestServeFaultFreeWatermark(t *testing.T) {
+	s := startServer(t, tree.Paper(), Options{K: 3, L: 5, QueueDepth: 8})
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		c := dial(t, s)
+		rng := rand.New(rand.NewSource(int64(i) + 100))
+		wg.Add(1)
+		go func(c *Client, rng *rand.Rand) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				l, err := c.Acquire(1+rng.Intn(3), 500*time.Millisecond)
+				if err != nil {
+					continue
+				}
+				c.Release(l.ID)
+			}
+		}(c, rng)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	stop()
+	wg.Wait()
+	if maxHeld := s.MaxUnitsHeld(); maxHeld > 5 {
+		t.Fatalf("fault-free watermark %d exceeds l=5", maxHeld)
+	}
+	if s.Stats().Grants == 0 {
+		t.Fatal("no grants at all")
+	}
+}

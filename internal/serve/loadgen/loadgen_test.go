@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"kofl/internal/serve"
+	"kofl/internal/tree"
+)
+
+// TestLoadgenSmoke is the CI smoke: a short open-loop run against a live
+// server must complete with zero protocol violations and a non-empty
+// latency histogram. It is the cheap always-on version of BenchmarkServe.
+func TestLoadgenSmoke(t *testing.T) {
+	s, err := serve.New(tree.Paper(), serve.Options{K: 3, L: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	res, err := Run(Config{
+		Addr:     s.Addr(),
+		Clients:  4,
+		Rate:     200,
+		Duration: 1500 * time.Millisecond,
+		MaxUnits: 3,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("%+v", res)
+	if res.Violations != 0 {
+		t.Fatalf("%d protocol violations", res.Violations)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no completed acquires")
+	}
+	if res.LatencyCount == 0 || res.LatencyP99us <= 0 {
+		t.Fatalf("empty latency histogram: %+v", res)
+	}
+	if res.LatencyP50us > res.LatencyP95us || res.LatencyP95us > res.LatencyP99us {
+		t.Fatalf("non-monotonic percentiles: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d transport errors against a healthy local server", res.Errors)
+	}
+}
+
+// TestLoadgenConfigValidation pins the required-field errors.
+func TestLoadgenConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Run(Config{Rate: 100}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Run(Config{Rate: 100, Duration: time.Second, Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+}

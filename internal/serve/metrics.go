@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kofl/internal/stats"
+)
+
+// LatencyBucketUS is the acquire-latency histogram resolution: quantiles
+// read from it are exact to one bucket (250µs), which is far below the
+// protocol's token-circulation timescale.
+const LatencyBucketUS = 250
+
+// metrics is the server's counter set. Counters are atomics written on the
+// hot paths; the latency histogram takes a mutex (one grant is milliseconds
+// of protocol work, so the lock is nowhere near contended).
+type metrics struct {
+	sessions       atomic.Int64 // accepted connections, lifetime
+	sessionsActive atomic.Int64
+	acquires       atomic.Int64 // acquire frames admitted to dedupe
+	grants         atomic.Int64
+	releases       atomic.Int64 // client-initiated releases
+	expired        atomic.Int64 // TTL auto-releases
+	drained        atomic.Int64 // force-releases at shutdown
+	overloads      atomic.Int64 // full-queue rejects
+	deadlineRejs   atomic.Int64
+	drainingRejs   atomic.Int64
+	malformed      atomic.Int64
+	dedupeHits     atomic.Int64 // retries answered from the store
+	queueDepth     atomic.Int64 // acquires currently queued, all processes
+	leases         atomic.Int64 // leases outstanding
+	unitsHeld      atomic.Int64 // resource units currently leased out
+	maxUnitsHeld   atomic.Int64 // high-water mark of unitsHeld
+	latencySumUS   atomic.Int64
+
+	mu      sync.Mutex
+	latency *stats.Histogram // acquire latency, µs buckets
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: stats.NewHistogram(LatencyBucketUS)}
+}
+
+// grant accounts one granted lease and its acquire latency.
+func (m *metrics) grant(units int, latencyUS int64) {
+	m.grants.Add(1)
+	m.leases.Add(1)
+	held := m.unitsHeld.Add(int64(units))
+	for {
+		max := m.maxUnitsHeld.Load()
+		if held <= max || m.maxUnitsHeld.CompareAndSwap(max, held) {
+			break
+		}
+	}
+	m.latencySumUS.Add(latencyUS)
+	m.mu.Lock()
+	m.latency.Add(latencyUS)
+	m.mu.Unlock()
+}
+
+// release accounts one lease teardown; how is "client", "expired" or "drain".
+func (m *metrics) release(units int, how string) {
+	m.leases.Add(-1)
+	m.unitsHeld.Add(int64(-units))
+	switch how {
+	case "expired":
+		m.expired.Add(1)
+	case "drain":
+		m.drained.Add(1)
+	default:
+		m.releases.Add(1)
+	}
+}
+
+// quantiles reads p50/p95/p99 acquire latency (µs) and the sample count.
+func (m *metrics) quantiles() (p50, p95, p99, count int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latency.Quantile(0.50), m.latency.Quantile(0.95),
+		m.latency.Quantile(0.99), m.latency.Total()
+}
+
+// writeTo renders the counter set in the Prometheus text exposition format.
+// The latency histogram is exported with cumulative le buckets, so any
+// Prometheus-compatible scraper computes the same quantiles Stats reports.
+func (m *metrics) writeTo(w io.Writer, framesDelivered, framesRejected, framesDropped int64) error {
+	counter := func(name, help string, v int64) string {
+		return fmt.Sprintf("# HELP kofl_serve_%s %s\n# TYPE kofl_serve_%s counter\nkofl_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) string {
+		return fmt.Sprintf("# HELP kofl_serve_%s %s\n# TYPE kofl_serve_%s gauge\nkofl_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	out := counter("sessions_total", "accepted client connections", m.sessions.Load()) +
+		gauge("sessions_active", "open client connections", m.sessionsActive.Load()) +
+		counter("acquires_total", "acquire requests admitted", m.acquires.Load()) +
+		counter("grants_total", "leases granted", m.grants.Load()) +
+		counter("releases_total", "client-initiated lease releases", m.releases.Load()) +
+		counter("leases_expired_total", "leases auto-released on TTL expiry", m.expired.Load()) +
+		counter("leases_drained_total", "leases force-released at shutdown", m.drained.Load()) +
+		counter("rejects_overload_total", "acquires rejected by a full process queue", m.overloads.Load()) +
+		counter("rejects_deadline_total", "acquires rejected past their deadline", m.deadlineRejs.Load()) +
+		counter("rejects_draining_total", "acquires rejected during drain", m.drainingRejs.Load()) +
+		counter("malformed_total", "frames that failed to parse or validate", m.malformed.Load()) +
+		counter("dedupe_hits_total", "acquire retries answered from the dedupe store", m.dedupeHits.Load()) +
+		gauge("queue_depth", "acquires queued across all processes", m.queueDepth.Load()) +
+		gauge("leases_outstanding", "leases currently held", m.leases.Load()) +
+		gauge("units_held", "resource units currently leased out", m.unitsHeld.Load()) +
+		counter("frames_delivered_total", "protocol frames decoded and handled", framesDelivered) +
+		counter("frames_rejected_total", "protocol frames rejected by the wire layer", framesRejected) +
+		counter("frames_dropped_total", "protocol frames dropped by full links (backpressure)", framesDropped)
+	if _, err := io.WriteString(w, out); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	keys := make([]int64, 0, len(m.latency.Buckets))
+	for k := range m.latency.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var hist string
+	hist = "# HELP kofl_serve_acquire_latency_us acquire latency, enqueue to grant\n" +
+		"# TYPE kofl_serve_acquire_latency_us histogram\n"
+	var cum int64
+	for _, k := range keys {
+		cum += m.latency.Buckets[k]
+		hist += fmt.Sprintf("kofl_serve_acquire_latency_us_bucket{le=\"%d\"} %d\n",
+			(k+1)*m.latency.Width-1, cum)
+	}
+	hist += fmt.Sprintf("kofl_serve_acquire_latency_us_bucket{le=\"+Inf\"} %d\n", cum)
+	hist += fmt.Sprintf("kofl_serve_acquire_latency_us_sum %d\n", m.latencySumUS.Load())
+	hist += fmt.Sprintf("kofl_serve_acquire_latency_us_count %d\n", cum)
+	m.mu.Unlock()
+	_, err := io.WriteString(w, hist)
+	return err
+}

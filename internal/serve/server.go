@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kofl/internal/core"
+	"kofl/internal/runtime"
+	"kofl/internal/tree"
+)
+
+// Defaults for the zero Options values.
+const (
+	DefaultQueueDepth   = 64
+	DefaultDedupeTTL    = 30 * time.Second
+	DefaultLeaseTTL     = 10 * time.Second
+	DefaultDrainTimeout = 5 * time.Second
+	DefaultTimeout      = 5 * time.Millisecond
+)
+
+// Options configures a lease server.
+type Options struct {
+	// K is the per-lease unit cap, L the number of resource units
+	// (1 ≤ K ≤ L); CMAX bounds initial channel garbage (default 4).
+	K, L, CMAX int
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Timeout is the root's retransmission timeout (default 5ms — a
+	// serving tree is latency-sensitive, so the default is tighter than the
+	// bare runtime's 25ms).
+	Timeout time.Duration
+	// LinkBuffer overrides the runtime's per-link frame buffer.
+	LinkBuffer int
+	// QueueDepth bounds each process's pending-acquire queue (default 64);
+	// a full queue rejects with ErrOverload.
+	QueueDepth int
+	// DedupeTTL is how long a completed acquire response is replayed to
+	// retries of the same request id (default 30s).
+	DedupeTTL time.Duration
+	// LeaseTTL is the default and maximum lease duration; an unreleased
+	// lease is auto-released when it expires (default 10s).
+	LeaseTTL time.Duration
+	// DrainTimeout bounds how long Shutdown waits for clients to release
+	// outstanding leases before force-releasing them (default 5s).
+	DrainTimeout time.Duration
+	// MetricsAddr, when non-empty, serves Prometheus-style metrics over
+	// HTTP at /metrics on this address.
+	MetricsAddr string
+	// OnDrop is forwarded to the runtime (full-link frame drops).
+	OnDrop func(p, ch int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.DedupeTTL <= 0 {
+		o.DedupeTTL = DefaultDedupeTTL
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = DefaultLeaseTTL
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
+	return o
+}
+
+// Server is a lease server over one live protocol tree. Build with New,
+// launch with Start, stop with Shutdown (graceful) or Close (immediate).
+type Server struct {
+	opts Options
+	tr   *tree.Tree
+	net  *runtime.Net
+
+	ln      net.Listener
+	metrics *http.Server
+	metLn   net.Listener
+
+	procs  []*procServer
+	dedupe *dedupeStore
+	met    *metrics
+
+	leaseMu  sync.Mutex
+	leases   map[string]*lease
+	leaseSeq atomic.Int64
+	sessSeq  atomic.Int64
+	sessMu   sync.Mutex
+	sessions map[*session]struct{}
+
+	draining atomic.Bool
+	started  atomic.Bool
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// procServer is the per-tree-process serving state: a bounded acquire queue
+// drained by one worker goroutine, serialized because the protocol interface
+// of one process is Out→Req→In→Out (one lease at a time).
+type procServer struct {
+	p     int
+	s     *Server
+	queue chan *pendingAcquire
+	enter chan struct{}
+}
+
+// pendingAcquire is one queued acquire.
+type pendingAcquire struct {
+	req      Request
+	sess     *session
+	enqueued time.Time
+	deadline time.Time // zero = no deadline
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id       string
+	p        int
+	units    int
+	timer    *time.Timer
+	released chan struct{}
+	once     sync.Once
+}
+
+// New builds a lease server for the full self-stabilizing protocol over tr.
+// Call Start to bind the listener and launch the network.
+func New(tr *tree.Tree, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	cmax := opts.CMAX
+	if cmax == 0 {
+		cmax = 4
+	}
+	cfg := core.Config{K: opts.K, L: opts.L, N: tr.N(), CMAX: cmax, Features: core.Full()}
+	n, err := runtime.New(tr, cfg, runtime.Options{
+		Timeout:    opts.Timeout,
+		LinkBuffer: opts.LinkBuffer,
+		OnDrop:     opts.OnDrop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		tr:       tr,
+		net:      n,
+		dedupe:   newDedupeStore(opts.DedupeTTL),
+		met:      newMetrics(),
+		leases:   make(map[string]*lease),
+		sessions: make(map[*session]struct{}),
+	}
+	s.procs = make([]*procServer, tr.N())
+	for p := 0; p < tr.N(); p++ {
+		ps := &procServer{
+			p:     p,
+			s:     s,
+			queue: make(chan *pendingAcquire, opts.QueueDepth),
+			enter: make(chan struct{}, 4),
+		}
+		// The grant signal runs on the process goroutine: never block it.
+		n.OnEnter(p, func(int) {
+			select {
+			case ps.enter <- struct{}{}:
+			default:
+			}
+		})
+		s.procs[p] = ps
+	}
+	return s, nil
+}
+
+// Start launches the protocol network, the per-process workers, the TCP
+// accept loop and (if configured) the HTTP metrics endpoint.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("serve: Start called twice")
+	}
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.opts.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", s.opts.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.metLn = mln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.WriteMetrics(w)
+		})
+		s.metrics = &http.Server{Handler: mux}
+		go s.metrics.Serve(mln)
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.net.Start(s.ctx)
+	for _, ps := range s.procs {
+		s.wg.Add(1)
+		go ps.run()
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// MetricsAddr returns the bound metrics address ("" if disabled).
+func (s *Server) MetricsAddr() string {
+	if s.metLn == nil {
+		return ""
+	}
+	return s.metLn.Addr().String()
+}
+
+// Net exposes the underlying live network (counters, injection).
+func (s *Server) Net() *runtime.Net { return s.net }
+
+// InjectGarbage floods the tree's links with well-formed garbage tokens
+// mid-run — the churn fault model the integration tests recover from.
+func (s *Server) InjectGarbage(seed int64) { s.net.InjectGarbage(seed) }
+
+// InjectNoise floods random links with raw byte noise mid-run.
+func (s *Server) InjectNoise(seed int64, frames int) { s.net.InjectNoise(seed, frames) }
+
+// UnitsHeld returns the resource units currently leased out.
+func (s *Server) UnitsHeld() int64 { return s.met.unitsHeld.Load() }
+
+// MaxUnitsHeld returns the high-water mark of UnitsHeld since the last
+// ResetMaxUnitsHeld — the safety watermark the integration tests assert
+// against ℓ.
+func (s *Server) MaxUnitsHeld() int64 { return s.met.maxUnitsHeld.Load() }
+
+// ResetMaxUnitsHeld restarts the safety watermark (used by tests to scope
+// the ≤ℓ assertion to the post-re-stabilization window).
+func (s *Server) ResetMaxUnitsHeld() { s.met.maxUnitsHeld.Store(s.met.unitsHeld.Load()) }
+
+// accept hands every connection to a session goroutine, round-robin
+// assigned to a tree process.
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		p := int(s.sessSeq.Add(1)-1) % s.tr.N()
+		ss := &session{id: s.sessSeq.Load(), p: p, conn: conn, s: s}
+		s.met.sessions.Add(1)
+		s.met.sessionsActive.Add(1)
+		s.wg.Add(1)
+		go ss.run()
+	}
+}
+
+// Stats is the live counter snapshot served to stats frames (and the base
+// of the load generator's report).
+type Stats struct {
+	K int `json:"k"`
+	L int `json:"l"`
+	N int `json:"n"`
+
+	Sessions       int64 `json:"sessions"`
+	SessionsActive int64 `json:"sessions_active"`
+	QueueDepth     int64 `json:"queue_depth"`
+	Leases         int64 `json:"leases_outstanding"`
+	UnitsHeld      int64 `json:"units_held"`
+	MaxUnitsHeld   int64 `json:"max_units_held"`
+
+	Acquires        int64 `json:"acquires"`
+	Grants          int64 `json:"grants"`
+	Releases        int64 `json:"releases"`
+	Expired         int64 `json:"leases_expired"`
+	Overloads       int64 `json:"rejects_overload"`
+	DeadlineRejects int64 `json:"rejects_deadline"`
+	DrainingRejects int64 `json:"rejects_draining"`
+	DedupeHits      int64 `json:"dedupe_hits"`
+	Malformed       int64 `json:"malformed"`
+
+	FramesDelivered int64 `json:"frames_delivered"`
+	FramesRejected  int64 `json:"frames_rejected"`
+	FramesDropped   int64 `json:"frames_dropped"`
+
+	LatencyP50us int64 `json:"latency_p50_us"`
+	LatencyP95us int64 `json:"latency_p95_us"`
+	LatencyP99us int64 `json:"latency_p99_us"`
+	LatencyCount int64 `json:"latency_count"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	p50, p95, p99, count := s.met.quantiles()
+	return Stats{
+		K: s.opts.K, L: s.opts.L, N: s.tr.N(),
+
+		Sessions:       s.met.sessions.Load(),
+		SessionsActive: s.met.sessionsActive.Load(),
+		QueueDepth:     s.met.queueDepth.Load(),
+		Leases:         s.met.leases.Load(),
+		UnitsHeld:      s.met.unitsHeld.Load(),
+		MaxUnitsHeld:   s.met.maxUnitsHeld.Load(),
+
+		Acquires:        s.met.acquires.Load(),
+		Grants:          s.met.grants.Load(),
+		Releases:        s.met.releases.Load(),
+		Expired:         s.met.expired.Load(),
+		Overloads:       s.met.overloads.Load(),
+		DeadlineRejects: s.met.deadlineRejs.Load(),
+		DrainingRejects: s.met.drainingRejs.Load(),
+		DedupeHits:      s.met.dedupeHits.Load(),
+		Malformed:       s.met.malformed.Load(),
+
+		FramesDelivered: s.net.FramesDelivered(),
+		FramesRejected:  s.net.FramesRejected(),
+		FramesDropped:   s.net.FramesDropped(),
+
+		LatencyP50us: p50, LatencyP95us: p95, LatencyP99us: p99, LatencyCount: count,
+	}
+}
+
+// WriteMetrics renders the Prometheus-style counter set.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.met.writeTo(w, s.net.FramesDelivered(), s.net.FramesRejected(), s.net.FramesDropped())
+}
+
+// trackSession / dropSession keep the open-session set so Close can unblock
+// every read loop by closing its connection.
+func (s *Server) trackSession(ss *session) {
+	s.sessMu.Lock()
+	s.sessions[ss] = struct{}{}
+	s.sessMu.Unlock()
+}
+
+func (s *Server) dropSession(ss *session) {
+	s.sessMu.Lock()
+	delete(s.sessions, ss)
+	s.sessMu.Unlock()
+}
+
+// newLease registers a granted lease and arms its expiry timer.
+func (s *Server) newLease(p, units int, ttl time.Duration) *lease {
+	l := &lease{
+		id:       fmt.Sprintf("L%d", s.leaseSeq.Add(1)),
+		p:        p,
+		units:    units,
+		released: make(chan struct{}),
+	}
+	// Arm the timer under leaseMu: the expiry callback reads l.timer via
+	// releaseLease, which takes the same lock, so a near-instant expiry
+	// cannot race the assignment.
+	s.leaseMu.Lock()
+	s.leases[l.id] = l
+	l.timer = time.AfterFunc(ttl, func() { s.releaseLease(l, "expired") })
+	s.leaseMu.Unlock()
+	return l
+}
+
+// lookupLease resolves a lease id (nil if unknown or already released).
+func (s *Server) lookupLease(id string) *lease {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	return s.leases[id]
+}
+
+// releaseLease tears a lease down exactly once: hands the units back to the
+// protocol, unblocks the process worker, and accounts the teardown under
+// how ("client", "expired", "drain").
+func (s *Server) releaseLease(l *lease, how string) {
+	l.once.Do(func() {
+		s.leaseMu.Lock()
+		timer := l.timer
+		delete(s.leases, l.id)
+		s.leaseMu.Unlock()
+		if timer != nil {
+			timer.Stop()
+		}
+		s.net.Release(l.p)
+		s.met.release(l.units, how)
+		close(l.released)
+	})
+}
+
+// leaseTTL clamps a requested lease duration to the server maximum.
+func (s *Server) leaseTTL(requestedMS int64) time.Duration {
+	ttl := s.opts.LeaseTTL
+	if requestedMS > 0 {
+		if r := time.Duration(requestedMS) * time.Millisecond; r < ttl {
+			ttl = r
+		}
+	}
+	return ttl
+}
+
+// run is the per-process worker: it serves the acquire queue one lease at a
+// time, waiting out each lease before the next acquire (the protocol
+// interface of a process is strictly Out→Req→In→Out).
+func (ps *procServer) run() {
+	s := ps.s
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			ps.drainQueue()
+			return
+		case pa := <-ps.queue:
+			s.met.queueDepth.Add(-1)
+			ps.serveOne(pa)
+		}
+	}
+}
+
+// drainQueue rejects everything still queued at shutdown.
+func (ps *procServer) drainQueue() {
+	for {
+		select {
+		case pa := <-ps.queue:
+			ps.s.met.queueDepth.Add(-1)
+			ps.reject(pa, CodeDraining, "server shutting down")
+		default:
+			return
+		}
+	}
+}
+
+// reject answers pa with an error code and releases its dedupe claim so an
+// honest retry is admitted fresh.
+func (ps *procServer) reject(pa *pendingAcquire, code, detail string) {
+	s := ps.s
+	switch code {
+	case CodeDeadline:
+		s.met.deadlineRejs.Add(1)
+	case CodeDraining:
+		s.met.drainingRejs.Add(1)
+	}
+	s.dedupe.forget(pa.req.ID)
+	pa.sess.reply(Response{ID: pa.req.ID, Err: code, Detail: detail})
+}
+
+// serveOne serves one queued acquire to completion: protocol request, grant,
+// lease registration, reply, and then waits for the lease to die.
+func (ps *procServer) serveOne(pa *pendingAcquire) {
+	s := ps.s
+	if s.draining.Load() {
+		ps.reject(pa, CodeDraining, "server shutting down")
+		return
+	}
+	if !pa.deadline.IsZero() && time.Now().After(pa.deadline) {
+		ps.reject(pa, CodeDeadline, "deadline passed while queued")
+		return
+	}
+	if err := s.net.Request(ps.p, pa.req.Units); err != nil {
+		// The worker serializes this process's interface, so a refusal is a
+		// server bug or a corrupted state mid-stabilization; shed the
+		// request rather than wedge the queue.
+		ps.reject(pa, CodeOverload, fmt.Sprintf("protocol refused request: %v", err))
+		return
+	}
+	select {
+	case <-ps.enter:
+	case <-s.ctx.Done():
+		ps.reject(pa, CodeDraining, "server stopped before grant")
+		return
+	}
+	latencyUS := time.Since(pa.enqueued).Microseconds()
+	if s.draining.Load() || (!pa.deadline.IsZero() && time.Now().After(pa.deadline)) {
+		// Granted too late: hand the units straight back.
+		s.net.Release(ps.p)
+		code, detail := CodeDeadline, "deadline passed before grant"
+		if s.draining.Load() {
+			code, detail = CodeDraining, "server shutting down"
+		}
+		ps.reject(pa, code, detail)
+		return
+	}
+	l := s.newLease(ps.p, pa.req.Units, s.leaseTTL(pa.req.LeaseMS))
+	resp := Response{ID: pa.req.ID, OK: true, Lease: l.id, Units: pa.req.Units, Process: ps.p}
+	s.dedupe.complete(pa.req.ID, &resp, time.Now())
+	s.met.grant(pa.req.Units, latencyUS)
+	pa.sess.reply(resp)
+	select {
+	case <-l.released:
+	case <-s.ctx.Done():
+		// Immediate Close may have swept the lease map before this lease
+		// registered; release it ourselves rather than park until its TTL.
+		s.releaseLease(l, "drain")
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, reject queued and new
+// acquires, give clients up to DrainTimeout (bounded further by ctx) to
+// release outstanding leases, force-release the rest, then stop everything.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.started.Load() {
+		return fmt.Errorf("serve: Shutdown before Start")
+	}
+	s.draining.Store(true)
+	s.ln.Close()
+	// Nudge the workers: anything queued is rejected by serveOne's draining
+	// check as it surfaces; now wait for lease teardown.
+	deadline := time.After(s.opts.DrainTimeout)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for {
+		s.leaseMu.Lock()
+		n := len(s.leases)
+		s.leaseMu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-tick.C:
+		case <-deadline:
+			break wait
+		case <-ctx.Done():
+			break wait
+		}
+	}
+	// Force-release whatever clients did not return in time.
+	s.leaseMu.Lock()
+	remaining := make([]*lease, 0, len(s.leases))
+	for _, l := range s.leases {
+		remaining = append(remaining, l)
+	}
+	s.leaseMu.Unlock()
+	for _, l := range remaining {
+		s.releaseLease(l, "drain")
+	}
+	s.Close()
+	return ctx.Err()
+}
+
+// Close stops the server immediately: listener, leases, sessions, workers,
+// network. Shutdown calls it after draining; calling it directly skips the
+// drain (outstanding leases are force-released so no worker stays parked).
+func (s *Server) Close() {
+	if !s.started.Load() {
+		return
+	}
+	s.draining.Store(true)
+	s.ln.Close()
+	if s.metrics != nil {
+		s.metrics.Close()
+	}
+	// Force-release outstanding leases while the process goroutines still
+	// run (releaseLease talks to them), unblocking parked workers.
+	s.leaseMu.Lock()
+	remaining := make([]*lease, 0, len(s.leases))
+	for _, l := range s.leases {
+		remaining = append(remaining, l)
+	}
+	s.leaseMu.Unlock()
+	for _, l := range remaining {
+		s.releaseLease(l, "drain")
+	}
+	s.cancel()
+	s.net.Stop()
+	// Unblock every session read loop.
+	s.sessMu.Lock()
+	open := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		open = append(open, ss)
+	}
+	s.sessMu.Unlock()
+	for _, ss := range open {
+		ss.conn.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// session is one accepted connection, pinned to tree process p. The read
+// loop dispatches frames; replies may come from this goroutine (release,
+// stats, rejects) or from the process worker (grants), serialized by wmu.
+type session struct {
+	id   int64
+	p    int
+	conn net.Conn
+	s    *Server
+	wmu  sync.Mutex
+}
+
+// reply writes one response frame; a write error just means the client went
+// away (its leases still expire by TTL).
+func (ss *session) reply(resp Response) {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	_ = WriteFrame(ss.conn, resp)
+}
+
+func (ss *session) run() {
+	s := ss.s
+	defer func() {
+		ss.conn.Close()
+		s.met.sessionsActive.Add(-1)
+		s.dropSession(ss)
+		s.wg.Done()
+	}()
+	s.trackSession(ss)
+	if s.draining.Load() {
+		return // raced with Close: the conn may have missed its close
+	}
+	for {
+		body, err := ReadFrame(ss.conn)
+		if err != nil {
+			return // EOF, conn closed, or framing violation: drop the session
+		}
+		req, err := ParseRequest(body)
+		if err != nil {
+			s.met.malformed.Add(1)
+			ss.reply(Response{Err: CodeMalformed, Detail: err.Error()})
+			continue
+		}
+		if err := req.Validate(s.opts.K); err != nil {
+			s.met.malformed.Add(1)
+			ss.reply(Response{ID: req.ID, Err: CodeMalformed, Detail: err.Error()})
+			continue
+		}
+		switch req.Op {
+		case OpAcquire:
+			ss.acquire(req)
+		case OpRelease:
+			ss.release(req)
+		case OpStats:
+			st := s.Stats()
+			ss.reply(Response{ID: req.ID, OK: true, Stats: &st})
+		}
+	}
+}
+
+// acquire admits one acquire frame: dedupe first (a retry is answered from
+// the store without touching the queue), then the bounded per-process queue
+// with explicit overload rejection.
+func (ss *session) acquire(req *Request) {
+	s := ss.s
+	now := time.Now()
+	if cached, fresh := s.dedupe.begin(req.ID, now); !fresh {
+		if cached == nil {
+			ss.reply(Response{ID: req.ID, Err: CodePending, Detail: "request id still in flight"})
+			return
+		}
+		s.met.dedupeHits.Add(1)
+		ss.reply(*cached)
+		return
+	}
+	s.met.acquires.Add(1)
+	if s.draining.Load() {
+		s.met.drainingRejs.Add(1)
+		s.dedupe.forget(req.ID)
+		ss.reply(Response{ID: req.ID, Err: CodeDraining, Detail: "server shutting down"})
+		return
+	}
+	pa := &pendingAcquire{req: *req, sess: ss, enqueued: now}
+	if req.DeadlineMS > 0 {
+		pa.deadline = now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	select {
+	case s.procs[ss.p].queue <- pa:
+		s.met.queueDepth.Add(1)
+	default:
+		s.met.overloads.Add(1)
+		s.dedupe.forget(req.ID)
+		ss.reply(Response{ID: req.ID, Err: CodeOverload, Detail: "process queue full"})
+	}
+}
+
+// release hands a lease back. Unknown lease ids answer OK — a retried
+// release whose first attempt won is indistinguishable from one that
+// already expired, and both are successfully-released outcomes.
+func (ss *session) release(req *Request) {
+	if l := ss.s.lookupLease(req.Lease); l != nil {
+		ss.s.releaseLease(l, "client")
+	}
+	ss.reply(Response{ID: req.ID, OK: true})
+}

@@ -185,6 +185,47 @@ func (h *Histogram) Add(v int64) {
 	h.Buckets[b]++
 }
 
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Buckets {
+		t += c
+	}
+	return t
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded samples as the
+// inclusive upper bound of the bucket holding the nearest-rank sample — a
+// conservative (never underestimating) answer whose error is at most one
+// bucket width. At Width 1 it is exactly the nearest-rank quantile. It
+// returns 0 for an empty histogram; q outside [0, 1] is clamped.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	keys := make([]int64, 0, len(h.Buckets))
+	for k := range h.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var cum int64
+	for _, k := range keys {
+		cum += h.Buckets[k]
+		if cum >= rank {
+			return (k+1)*h.Width - 1
+		}
+	}
+	return (keys[len(keys)-1]+1)*h.Width - 1 // unreachable: cum == total ≥ rank
+}
+
 // String renders the buckets in ascending order as "lo..hi:count".
 func (h *Histogram) String() string {
 	keys := make([]int64, 0, len(h.Buckets))

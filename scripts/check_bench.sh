@@ -67,5 +67,24 @@ if [ -f BENCH_scale.json ]; then
     done
 fi
 
+if [ -f BENCH_serve.json ]; then
+    # The serve record is an offered-load sweep; a point with zero completed
+    # acquires or empty latency percentiles means the server (or the load
+    # generator) silently did nothing and the "latency curve" is vacuous.
+    grep -q '"entries"' BENCH_serve.json || err "BENCH_serve.json: old schema (no entries sweep)"
+    grep -q '"completed": 0,' BENCH_serve.json \
+        && err "BENCH_serve.json: a sweep point completed zero acquires (dead server recorded?)" || true
+    grep -q '"latency_count": 0' BENCH_serve.json \
+        && err "BENCH_serve.json: a sweep point recorded an empty latency histogram" || true
+    p99_list=$(sed -n 's/^.*"latency_p99_us": *\(-\{0,1\}[0-9][0-9]*\).*$/\1/p' BENCH_serve.json)
+    [ -n "$p99_list" ] || err "BENCH_serve.json: no latency_p99_us fields found (schema drift?)"
+    for p99 in $p99_list; do
+        [ "$p99" -gt 0 ] || err "BENCH_serve.json: empty p99 percentile ($p99) on the sweep"
+    done
+    if grep '"violations":' BENCH_serve.json | grep -qv '"violations": 0'; then
+        err "BENCH_serve.json: recorded protocol violations on the sweep"
+    fi
+fi
+
 [ "$fail" -eq 0 ] && echo "check_bench: OK"
 exit "$fail"

@@ -73,5 +73,19 @@ for sym in Parse Compile NewExecutor LegacyStorm Builtins; do
 done
 grep -q 'func FuzzAdversaryScript' internal/adversary/fuzz_test.go || err "FuzzAdversaryScript gone but documented"
 
+# The serving layer's documented surface must still exist: the architecture
+# section, the recorded bench + its record in the README, the wire-protocol
+# fuzz target, and the public entry points.
+grep -q 'serving layer' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the serving layer section"
+grep -q 'BENCH_serve.json' README.md || err "README.md no longer documents BENCH_serve.json"
+grep -q 'func BenchmarkServe(' bench_test.go || err "BenchmarkServe gone but documented"
+grep -q 'func FuzzServeFrame' internal/serve/frame_test.go || err "FuzzServeFrame gone but documented"
+grep -q 'func TestServeChurnMatrix' internal/serve/integration_test.go || err "TestServeChurnMatrix gone but documented"
+grep -q 'func Serve(' serve.go || err "kofl.Serve gone but documented"
+grep -q 'func DialLease(' serve.go || err "kofl.DialLease gone but documented"
+grep -q 'func Run(' internal/serve/loadgen/loadgen.go || err "loadgen.Run gone but documented"
+grep -q 'func (h \*Histogram) Quantile' internal/stats/stats.go || err "stats.Histogram.Quantile gone but documented"
+grep -q 'FramesDropped' internal/runtime/runtime.go || err "runtime frame-drop counter gone but documented"
+
 [ "$fail" -eq 0 ] && echo "check_docs: OK"
 exit "$fail"

@@ -1,0 +1,49 @@
+package kofl
+
+import (
+	"kofl/internal/serve"
+)
+
+// LeaseServer is a network-facing resource-lease server over a Live tree:
+// external clients acquire and release the protocol's ℓ resource units over
+// a length-prefixed JSON TCP protocol, with bounded per-process queues
+// (explicit overload rejection), idempotent acquire via a TTL dedupe store,
+// lease expiry, and Prometheus-style metrics. See the serve package docs
+// for the full serving model and Server for the method set (Addr, Stats,
+// WriteMetrics, Shutdown, Close).
+type LeaseServer = serve.Server
+
+// ServeOptions configures a LeaseServer.
+type ServeOptions = serve.Options
+
+// LeaseClient is the multiplexing client for the serve protocol; any number
+// of goroutines may share one connection.
+type LeaseClient = serve.Client
+
+// ServeStats is a LeaseServer's counter snapshot.
+type ServeStats = serve.Stats
+
+// Rejection sentinels of the serve protocol, for errors.Is on client errors.
+var (
+	ErrServeOverload = serve.ErrOverload
+	ErrServeDeadline = serve.ErrDeadline
+	ErrServeDraining = serve.ErrDraining
+)
+
+// Serve builds a lease server for the full self-stabilizing protocol over t
+// and starts it: the protocol network, the per-process workers and the TCP
+// listener are all running when Serve returns. Stop with Shutdown (graceful
+// drain) or Close (immediate).
+func Serve(t *Tree, opts ServeOptions) (*LeaseServer, error) {
+	s, err := serve.New(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DialLease connects a LeaseClient to a lease server.
+func DialLease(addr string) (*LeaseClient, error) { return serve.Dial(addr) }

@@ -1,0 +1,42 @@
+package kofl_test
+
+import (
+	"fmt"
+	"time"
+
+	"kofl"
+)
+
+// ExampleServe leases resource units over TCP: a lease server multiplexes
+// external clients onto a live protocol tree, and every grant is bounded by
+// the protocol's invariants (at most k units per lease, at most ℓ out at
+// once, system-wide).
+func ExampleServe() {
+	srv, err := kofl.Serve(kofl.Star(4), kofl.ServeOptions{K: 2, L: 3})
+	if err != nil {
+		fmt.Println("serve:", err)
+		return
+	}
+	defer srv.Close()
+
+	c, err := kofl.DialLease(srv.Addr())
+	if err != nil {
+		fmt.Println("dial:", err)
+		return
+	}
+	defer c.Close()
+
+	lease, err := c.Acquire(2, 10*time.Second)
+	if err != nil {
+		fmt.Println("acquire:", err)
+		return
+	}
+	fmt.Println("granted units:", lease.Units)
+	fmt.Println("held:", srv.UnitsHeld())
+	if err := c.Release(lease.ID); err != nil {
+		fmt.Println("release:", err)
+	}
+	// Output:
+	// granted units: 2
+	// held: 2
+}
