@@ -742,6 +742,12 @@ func BenchmarkWaitingMonitor(b *testing.B) {
 // from the scheduled arrival — coordinated-omission corrected — so the p99
 // honestly includes queueing behind the protocol's token circulation.
 func BenchmarkServe(b *testing.B) {
+	// A single-proc run time-slices the 8 load clients against the server on
+	// one core; check_bench.sh rejects such records, so refuse to write one
+	// (run with GOMAXPROCS >= 2 to re-record the curve).
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("BENCH_serve needs GOMAXPROCS >= 2 for an honest concurrent record")
+	}
 	rates := []float64{100, 400, 1600}
 	var entries []loadgen.Result
 	for i := 0; i < b.N; i++ {

@@ -63,6 +63,9 @@ type options struct {
 	seed          int64
 	addr, metrics string
 	timeout       time.Duration
+	pace          time.Duration
+	idlePace      time.Duration
+	maxBatch      int
 	queue         int
 	leaseTTL      time.Duration
 	dedupeTTL     time.Duration
@@ -87,7 +90,10 @@ func flags() (*flag.FlagSet, *options) {
 	fs.Int64Var(&o.seed, "seed", 1, "seed for -topo random")
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:0", "TCP listen address (port 0 = pick one)")
 	fs.StringVar(&o.metrics, "metrics", "", "HTTP /metrics listen address (empty = disabled)")
-	fs.DurationVar(&o.timeout, "timeout", 5*time.Millisecond, "root retransmission timeout")
+	fs.DurationVar(&o.timeout, "timeout", serve.DefaultTimeout, "root retransmission timeout (tightening below a few ms causes retransmission storms)")
+	fs.DurationVar(&o.pace, "pace", serve.DefaultPace, "protocol delivery pace while acquires wait (negative = full speed)")
+	fs.DurationVar(&o.idlePace, "idle-pace", serve.DefaultIdlePace, "protocol delivery pace while no acquire waits (negative = full speed)")
+	fs.IntVar(&o.maxBatch, "max-batch", 0, "max acquires per protocol cycle (0 = unlimited within Σunits ≤ k; 1 = unbatched)")
 	fs.IntVar(&o.queue, "queue", serve.DefaultQueueDepth, "per-process acquire queue depth (full queue rejects with overload)")
 	fs.DurationVar(&o.leaseTTL, "lease-ttl", serve.DefaultLeaseTTL, "maximum (and default) lease duration")
 	fs.DurationVar(&o.dedupeTTL, "dedupe-ttl", serve.DefaultDedupeTTL, "how long acquire responses replay to request-id retries")
@@ -144,6 +150,9 @@ func run(args []string, out io.Writer) error {
 	if o.queue < 1 {
 		return usageError(fmt.Sprintf("-queue %d: must be ≥ 1", o.queue))
 	}
+	if o.maxBatch < 0 {
+		return usageError(fmt.Sprintf("-max-batch %d: must be ≥ 0", o.maxBatch))
+	}
 	if o.load < 0 {
 		return usageError(fmt.Sprintf("-load %v: must be ≥ 0", o.load))
 	}
@@ -158,7 +167,8 @@ func run(args []string, out io.Writer) error {
 	srv, err := kofl.Serve(tr, kofl.ServeOptions{
 		K: o.k, L: o.l, CMAX: o.cmax,
 		Addr: o.addr, MetricsAddr: o.metrics,
-		Timeout: o.timeout, QueueDepth: o.queue,
+		Timeout: o.timeout, Pace: o.pace, IdlePace: o.idlePace,
+		MaxBatch: o.maxBatch, QueueDepth: o.queue,
 		LeaseTTL: o.leaseTTL, DedupeTTL: o.dedupeTTL, DrainTimeout: o.drain,
 	})
 	if err != nil {

@@ -33,6 +33,17 @@ type Options struct {
 	Timeout time.Duration
 	// LinkBuffer overrides DefaultLinkBuffer.
 	LinkBuffer int
+	// Pace and IdlePace throttle message delivery (0 = full speed). The
+	// protocol's tokens circulate forever even with zero demand, which
+	// costs a core's worth of message handling on an otherwise idle
+	// network and starves co-located application goroutines of CPU. Each
+	// pump holds a frame for Pace while application requests are
+	// outstanding and for IdlePace while none are, so circulation trickles
+	// instead of spinning. Arbitrary message delay is inside the
+	// asynchronous model, so stabilization is unaffected, and pacing never
+	// drops frames — they wait in their link buffers.
+	Pace     time.Duration
+	IdlePace time.Duration
 	// Observer receives protocol events; it is called from process
 	// goroutines and must be safe for concurrent use (may be nil).
 	Observer core.Observer
@@ -75,6 +86,10 @@ type Net struct {
 	framesRejected  atomic.Int64 // checksum/decoding failures (injected noise)
 	framesDropped   atomic.Int64 // full-link drops (backpressure signal)
 	grants          atomic.Int64
+
+	// demand counts application requests issued but not yet granted; the
+	// pumps deliver at full speed whenever it is non-zero (IdlePace).
+	demand atomic.Int64
 }
 
 // proc is the per-process goroutine state.
@@ -141,11 +156,32 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Net, error) {
 func (n *Net) observe(e core.Event) {
 	if e.Kind == core.EvEnterCS {
 		n.grants.Add(1)
+		n.demandDone()
 	}
 	if n.opts.Observer != nil {
 		n.opts.Observer(e)
 	}
 }
+
+// demandDone retires one outstanding request from the demand gauge, floored
+// at zero: stabilization noise can fire EnterCS for a request the demand
+// counter never saw (a corrupted Req state entering), and an over-decrement
+// must not wedge the gauge negative, which would pin pacing on forever.
+func (n *Net) demandDone() {
+	for {
+		d := n.demand.Load()
+		if d <= 0 {
+			return
+		}
+		if n.demand.CompareAndSwap(d, d-1) {
+			return
+		}
+	}
+}
+
+// Demand returns the number of application requests issued and not yet
+// granted — the signal that disables idle pacing.
+func (n *Net) Demand() int64 { return n.demand.Load() }
 
 // liveApp adapts a proc to core.App.
 type liveApp struct{ pr *proc }
@@ -220,11 +256,25 @@ func (n *Net) Start(ctx context.Context) {
 // pump decodes frames from one link into the process inbox.
 func (pr *proc) pump(ctx context.Context, ch int, link chan []byte, wg *sync.WaitGroup) {
 	defer wg.Done()
+	busy, idle := pr.net.opts.Pace, pr.net.opts.IdlePace
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case frame := <-link:
+			// Hold the frame for a beat before delivering: IdlePace with no
+			// request outstanding, Pace otherwise. An arriving request sees
+			// at most one leftover idle-length sleep per hop before delivery
+			// drops to the busy cadence. A plain Sleep (not a timer select)
+			// keeps the pump allocation-free; the longest pace is ~1ms, so
+			// shutdown waits that much at worst.
+			pace := busy
+			if pr.net.demand.Load() == 0 {
+				pace = idle
+			}
+			if pace > 0 {
+				time.Sleep(pace)
+			}
 			m, _, err := message.Decode(frame)
 			if err != nil {
 				pr.net.framesRejected.Add(1)
@@ -301,14 +351,21 @@ func (n *Net) stopped() <-chan struct{} {
 // (an error unless the process was in state Out), or ErrStopped if the
 // network shut down before the process could answer.
 func (n *Net) Request(p, need int) error {
+	// Raise demand before the command is visible to the process loop so a
+	// paced pump never sleeps through the request it should be serving.
+	n.demand.Add(1)
 	reply := make(chan error, 1)
 	select {
 	case n.procs[p].cmds <- appCmd{request: need, reply: reply}:
 	case <-n.stopped():
+		n.demandDone()
 		return ErrStopped
 	}
 	select {
 	case err := <-reply:
+		if err != nil {
+			n.demandDone() // refused: nothing left to grant
+		}
 		return err
 	case <-n.stopped():
 		return ErrStopped

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// batch is one multi-unit protocol cycle: the per-process worker drains its
+// queue into a single Request(p, Σunits) — the paper's interface is
+// multi-unit, so one Out→Req→In→Out cycle legally carries several client
+// acquires as long as Σunits ≤ k — and fans the grant out to the members as
+// independent sub-leases. The cycle's units go back to the protocol exactly
+// once, when the LAST member resolves, in whatever order members release,
+// expire, or get rejected at grant time.
+type batch struct {
+	p         int // tree process whose cycle this is
+	units     int // Σ member units requested from the protocol
+	remaining atomic.Int64
+	release   func() // returns the cycle to the protocol; runs exactly once
+	done      chan struct{}
+}
+
+func newBatch(p, members, units int, release func()) *batch {
+	b := &batch{p: p, units: units, release: release, done: make(chan struct{})}
+	b.remaining.Store(int64(members))
+	return b
+}
+
+// memberDone resolves one member. The caller guarantees single resolution
+// per member (a lease tears down behind sync.Once; a grant-time reject is
+// resolved by the worker before any lease exists), so remaining cannot go
+// negative and release runs exactly once.
+func (b *batch) memberDone() {
+	if b.remaining.Add(-1) == 0 {
+		b.release()
+		close(b.done)
+	}
+}
+
+// pendingAcquire is one queued acquire, pooled: the steady-state admission
+// path allocates no per-request state.
+type pendingAcquire struct {
+	req      Request
+	sess     *session
+	p        int // routed process (load-index key)
+	enqueued time.Time
+	deadline time.Time // zero = no deadline
+}
+
+var paPool = sync.Pool{New: func() any { return new(pendingAcquire) }}
+
+func getPending() *pendingAcquire { return paPool.Get().(*pendingAcquire) }
+
+func putPending(pa *pendingAcquire) {
+	*pa = pendingAcquire{}
+	paPool.Put(pa)
+}

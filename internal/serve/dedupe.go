@@ -5,15 +5,35 @@ import (
 	"time"
 )
 
+// dedupeShards is the lock-striping factor of the dedupe store (and the
+// lease registry, which reuses the same hash). Acquire admission takes the
+// dedupe lock once per frame; striping by request-id hash keeps concurrent
+// sessions off each other's locks.
+const dedupeShards = 16
+
+// fnv1a is the string hash the sharded maps stripe by.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // dedupeStore makes acquire idempotent: the first frame carrying a request
 // id claims it, the grant (or terminal answer) is cached under it, and any
 // retry inside the TTL window gets the cached response back instead of a
 // second lease. Rejections (overload, deadline, draining) release the id so
 // an honest retry may succeed later. Entries expire TTL after completion;
-// expiry is swept lazily on access, amortized over inserts.
+// expiry is swept lazily on access, amortized over inserts, per shard.
 type dedupeStore struct {
+	ttl    time.Duration
+	shards [dedupeShards]dedupeShard
+}
+
+type dedupeShard struct {
 	mu      sync.Mutex
-	ttl     time.Duration
 	m       map[string]*dedupeEntry
 	sweepAt time.Time
 }
@@ -24,59 +44,74 @@ type dedupeEntry struct {
 }
 
 func newDedupeStore(ttl time.Duration) *dedupeStore {
-	return &dedupeStore{ttl: ttl, m: make(map[string]*dedupeEntry)}
+	d := &dedupeStore{ttl: ttl}
+	for i := range d.shards {
+		d.shards[i].m = make(map[string]*dedupeEntry)
+	}
+	return d
+}
+
+func (d *dedupeStore) shard(id string) *dedupeShard {
+	return &d.shards[fnv1a(id)%dedupeShards]
 }
 
 // begin claims id. fresh means the caller owns the request and must later
 // call complete or forget. Otherwise cached is the stored response (nil if
 // the original is still in flight).
 func (d *dedupeStore) begin(id string, now time.Time) (cached *Response, fresh bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.sweep(now)
-	if e, ok := d.m[id]; ok {
+	sh := d.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sweep(now, d.ttl)
+	if e, ok := sh.m[id]; ok {
 		if e.resp == nil || now.Sub(e.at) < d.ttl {
 			return e.resp, false
 		}
 		// Completed and expired: the retry is a fresh request again.
 	}
-	d.m[id] = &dedupeEntry{}
+	sh.m[id] = &dedupeEntry{}
 	return nil, true
 }
 
 // complete stores the terminal response for a claimed id.
 func (d *dedupeStore) complete(id string, resp *Response, now time.Time) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.m[id] = &dedupeEntry{resp: resp, at: now}
+	sh := d.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[id] = &dedupeEntry{resp: resp, at: now}
 }
 
 // forget releases a claimed id without caching an answer (rejections), so
 // a retry is admitted as a fresh request.
 func (d *dedupeStore) forget(id string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.m, id)
+	sh := d.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, id)
 }
 
 // sweep drops expired completed entries, at most every ttl/4 (caller holds
-// the lock). In-flight entries never expire — their owner completes or
-// forgets them.
-func (d *dedupeStore) sweep(now time.Time) {
-	if now.Before(d.sweepAt) {
+// the shard lock). In-flight entries never expire — their owner completes
+// or forgets them.
+func (sh *dedupeShard) sweep(now time.Time, ttl time.Duration) {
+	if now.Before(sh.sweepAt) {
 		return
 	}
-	d.sweepAt = now.Add(d.ttl / 4)
-	for id, e := range d.m {
-		if e.resp != nil && now.Sub(e.at) >= d.ttl {
-			delete(d.m, id)
+	sh.sweepAt = now.Add(ttl / 4)
+	for id, e := range sh.m {
+		if e.resp != nil && now.Sub(e.at) >= ttl {
+			delete(sh.m, id)
 		}
 	}
 }
 
 // size reports the live entry count (stats/tests).
 func (d *dedupeStore) size() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.m)
+	n := 0
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+		n += len(d.shards[i].m)
+		d.shards[i].mu.Unlock()
+	}
+	return n
 }

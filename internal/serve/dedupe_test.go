@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -72,15 +73,24 @@ func TestDedupeSweep(t *testing.T) {
 		t.Fatalf("size=%d want 2", got)
 	}
 
+	// Sweeps are per shard (lazy, on access): the probing begin must land in
+	// the same shard as the expired entry to trigger its sweep.
+	probe := ""
+	for i := 0; probe == ""; i++ {
+		cand := fmt.Sprintf("probe-%d", i)
+		if fnv1a(cand)%dedupeShards == fnv1a("done")%dedupeShards {
+			probe = cand
+		}
+	}
 	// Far past the TTL: the next begin sweeps the completed entry but must
 	// keep the in-flight claim (its owner still holds it).
-	if _, fresh := d.begin("other", t0.Add(time.Hour)); !fresh {
+	if _, fresh := d.begin(probe, t0.Add(time.Hour)); !fresh {
 		t.Fatal("claim failed")
 	}
 	if cached, fresh := d.begin("inflight", t0.Add(time.Hour)); fresh || cached != nil {
 		t.Fatalf("in-flight entry was swept (fresh=%v cached=%v)", fresh, cached)
 	}
-	if got := d.size(); got != 2 { // inflight + other; "done" swept
+	if got := d.size(); got != 2 { // inflight + probe; "done" swept
 		t.Fatalf("size=%d want 2 after sweep", got)
 	}
 }

@@ -12,15 +12,19 @@ import (
 )
 
 // TestServeChurnMatrix is the race-mode integration matrix: N concurrent
-// clients churning acquire/release against a live tree while garbage and
-// noise are injected mid-run. It asserts the serving layer's safety story:
+// clients churning acquire/release against a live tree — with batched
+// multi-unit admission engaged — while garbage and noise are injected
+// mid-run. It asserts the serving layer's safety story:
 //
-//   - every grant is 1..k units (no response ever over-grants a client);
+//   - every sub-lease grants EXACTLY the units its acquire requested (a
+//     batch fan-out must never leak one member's units into another's
+//     lease);
 //   - after the faults are consumed and the protocol re-stabilizes, the
 //     units-held watermark never exceeds ℓ (the paper's safety property,
 //     observed at the lease layer);
 //   - the server keeps granting after the fault burst (liveness — the
-//     declared churn is inside the self-stabilizing fault model).
+//     declared churn is inside the self-stabilizing fault model), and the
+//     batch counters stay coherent with the grant counters.
 //
 // During the fault burst itself the watermark is unconstrained: garbage
 // tokens can transiently over-provision a self-stabilizing system, which is
@@ -61,7 +65,7 @@ func TestServeChurnMatrix(t *testing.T) {
 						if err != nil {
 							continue // overload/deadline rejects are expected churn
 						}
-						if l.Units < 1 || l.Units > tc.k {
+						if l.Units != units || l.Units < 1 || l.Units > tc.k {
 							unitViolations.Add(1)
 						}
 						time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
@@ -91,7 +95,7 @@ func TestServeChurnMatrix(t *testing.T) {
 			wg.Wait()
 
 			if v := unitViolations.Load(); v != 0 {
-				t.Errorf("%d grants outside 1..k", v)
+				t.Errorf("%d sub-leases outside their request (want exact units, 1..k)", v)
 			}
 			if maxHeld > int64(tc.l) {
 				t.Errorf("post-stabilization units-held watermark %d exceeds l=%d", maxHeld, tc.l)
@@ -100,8 +104,14 @@ func TestServeChurnMatrix(t *testing.T) {
 				t.Errorf("no grants in the post-stabilization window (liveness lost)")
 			}
 			st := s.Stats()
-			t.Logf("grants=%d overloads=%d deadlines=%d expired=%d framesRejected=%d framesDropped=%d maxHeld=%d",
-				st.Grants, st.Overloads, st.DeadlineRejects, st.Expired, st.FramesRejected, st.FramesDropped, maxHeld)
+			if st.Batches == 0 || st.Batches > st.Grants {
+				t.Errorf("batches=%d grants=%d: want 1 ≤ batches ≤ grants", st.Batches, st.Grants)
+			}
+			if st.BatchUnits < st.Grants {
+				t.Errorf("batch units %d < grants %d: some grant rode no batch", st.BatchUnits, st.Grants)
+			}
+			t.Logf("grants=%d batches=%d overloads=%d deadlines=%d expired=%d framesRejected=%d framesDropped=%d maxHeld=%d",
+				st.Grants, st.Batches, st.Overloads, st.DeadlineRejects, st.Expired, st.FramesRejected, st.FramesDropped, maxHeld)
 		})
 	}
 }

@@ -117,16 +117,20 @@ func Run(cfg Config) (Result, error) {
 		arrival = time.Duration(float64(time.Second) / cfg.Rate)
 	)
 
-	// Unit sizes are drawn up front so the schedule is deterministic in Seed
-	// regardless of goroutine interleaving.
+	// Unit sizes and request ids are built up front so the schedule is
+	// deterministic in Seed regardless of goroutine interleaving, and the
+	// dispatch loop does no per-arrival formatting that could skew the
+	// fixed-rate clock at high offered rates.
 	total := int(cfg.Duration / arrival)
 	if total < 1 {
 		total = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
 	units := make([]int, total)
+	ids := make([]string, total)
 	for i := range units {
 		units[i] = 1 + rng.Intn(cfg.MaxUnits)
+		ids[i] = fmt.Sprintf("lg-%d-%d", seed, i)
 	}
 
 	start := time.Now()
@@ -136,11 +140,11 @@ func Run(cfg Config) (Result, error) {
 			time.Sleep(d)
 		}
 		c := clients[i%len(clients)]
-		want := units[i]
+		want, id := units[i], ids[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			l, err := c.AcquireID(fmt.Sprintf("lg-%d-%d", seed, i), want, cfg.DeadlineMS, cfg.LeaseMS)
+			l, err := c.AcquireID(id, want, cfg.DeadlineMS, cfg.LeaseMS)
 			lat := time.Since(sched).Microseconds()
 			if err != nil {
 				switch {

@@ -23,6 +23,8 @@ type metrics struct {
 	sessionsActive atomic.Int64
 	acquires       atomic.Int64 // acquire frames admitted to dedupe
 	grants         atomic.Int64
+	batches        atomic.Int64 // protocol cycles served (each carries ≥1 lease)
+	batchUnits     atomic.Int64 // Σ units requested across batches
 	releases       atomic.Int64 // client-initiated releases
 	expired        atomic.Int64 // TTL auto-releases
 	drained        atomic.Int64 // force-releases at shutdown
@@ -43,6 +45,12 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{latency: stats.NewHistogram(LatencyBucketUS)}
+}
+
+// batch accounts one granted protocol cycle and its requested units.
+func (m *metrics) batch(units int) {
+	m.batches.Add(1)
+	m.batchUnits.Add(int64(units))
 }
 
 // grant accounts one granted lease and its acquire latency.
@@ -100,6 +108,8 @@ func (m *metrics) writeTo(w io.Writer, framesDelivered, framesRejected, framesDr
 		gauge("sessions_active", "open client connections", m.sessionsActive.Load()) +
 		counter("acquires_total", "acquire requests admitted", m.acquires.Load()) +
 		counter("grants_total", "leases granted", m.grants.Load()) +
+		counter("batches_total", "protocol cycles served (batched admission)", m.batches.Load()) +
+		counter("batch_units_total", "resource units requested across batches", m.batchUnits.Load()) +
 		counter("releases_total", "client-initiated lease releases", m.releases.Load()) +
 		counter("leases_expired_total", "leases auto-released on TTL expiry", m.expired.Load()) +
 		counter("leases_drained_total", "leases force-released at shutdown", m.drained.Load()) +

@@ -21,7 +21,9 @@ const (
 	DefaultDedupeTTL    = 30 * time.Second
 	DefaultLeaseTTL     = 10 * time.Second
 	DefaultDrainTimeout = 5 * time.Second
-	DefaultTimeout      = 5 * time.Millisecond
+	DefaultTimeout      = 25 * time.Millisecond
+	DefaultPace         = 10 * time.Microsecond
+	DefaultIdlePace     = time.Millisecond
 )
 
 // Options configures a lease server.
@@ -31,14 +33,27 @@ type Options struct {
 	K, L, CMAX int
 	// Addr is the TCP listen address (default "127.0.0.1:0").
 	Addr string
-	// Timeout is the root's retransmission timeout (default 5ms — a
-	// serving tree is latency-sensitive, so the default is tighter than the
-	// bare runtime's 25ms).
+	// Timeout is the root's retransmission timeout (default 25ms, the bare
+	// runtime's default). Tightening it below a few milliseconds is
+	// counterproductive: retransmission storms churn the tree and grant
+	// latency rises.
 	Timeout time.Duration
+	// Pace throttles protocol message delivery while acquires are waiting
+	// on the protocol, IdlePace while none are (defaults 10µs and 1ms;
+	// negative disables). Without pacing the token circulation spins a
+	// full core even when every client is idle or holding, starving the
+	// serving goroutines of CPU — the dominant cost of the serve path.
+	Pace     time.Duration
+	IdlePace time.Duration
+	// MaxBatch caps how many queued acquires one protocol cycle may carry
+	// (0 = unlimited; Σunits ≤ k bounds the batch regardless). 1 restores
+	// the one-lease-per-cycle admission of the original server.
+	MaxBatch int
 	// LinkBuffer overrides the runtime's per-link frame buffer.
 	LinkBuffer int
 	// QueueDepth bounds each process's pending-acquire queue (default 64);
-	// a full queue rejects with ErrOverload.
+	// an acquire finding its routed queue AND the fallback queue full is
+	// rejected with ErrOverload.
 	QueueDepth int
 	// DedupeTTL is how long a completed acquire response is replayed to
 	// retries of the same request id (default 30s).
@@ -62,6 +77,16 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = DefaultTimeout
+	}
+	if o.Pace == 0 {
+		o.Pace = DefaultPace
+	} else if o.Pace < 0 {
+		o.Pace = 0
+	}
+	if o.IdlePace == 0 {
+		o.IdlePace = DefaultIdlePace
+	} else if o.IdlePace < 0 {
+		o.IdlePace = 0
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = DefaultQueueDepth
@@ -89,12 +114,12 @@ type Server struct {
 	metrics *http.Server
 	metLn   net.Listener
 
-	procs  []*procServer
-	dedupe *dedupeStore
-	met    *metrics
+	procs   []*procServer
+	loadIdx *loadIndex
+	dedupe  *dedupeStore
+	met     *metrics
 
-	leaseMu  sync.Mutex
-	leases   map[string]*lease
+	leases   [dedupeShards]leaseShard
 	leaseSeq atomic.Int64
 	sessSeq  atomic.Int64
 	sessMu   sync.Mutex
@@ -107,32 +132,41 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// leaseShard is one stripe of the lease registry, hashed by lease id.
+type leaseShard struct {
+	mu sync.Mutex
+	m  map[string]*lease
+}
+
 // procServer is the per-tree-process serving state: a bounded acquire queue
-// drained by one worker goroutine, serialized because the protocol interface
-// of one process is Out→Req→In→Out (one lease at a time).
+// drained by one worker goroutine into batched protocol cycles (the protocol
+// interface of one process is Out→Req→In→Out, one cycle at a time — but one
+// cycle may carry Σunits ≤ k across several client acquires).
 type procServer struct {
 	p     int
 	s     *Server
 	queue chan *pendingAcquire
 	enter chan struct{}
+	carry *pendingAcquire   // popped but did not fit the previous batch
+	batch []*pendingAcquire // collection scratch, capacity k
+	corks []corkedReply     // per-session reply coalescing scratch
 }
 
-// pendingAcquire is one queued acquire.
-type pendingAcquire struct {
-	req      Request
-	sess     *session
-	enqueued time.Time
-	deadline time.Time // zero = no deadline
+// corkedReply accumulates the encoded grant frames bound for one session so
+// the batch fan-out writes each connection once.
+type corkedReply struct {
+	ss  *session
+	buf *[]byte
 }
 
-// lease is one outstanding grant.
+// lease is one outstanding grant: a sub-lease of its batch's cycle.
 type lease struct {
-	id       string
-	p        int
-	units    int
-	timer    *time.Timer
-	released chan struct{}
-	once     sync.Once
+	id    string
+	p     int
+	units int
+	timer *time.Timer
+	b     *batch
+	once  sync.Once
 }
 
 // New builds a lease server for the full self-stabilizing protocol over tr.
@@ -147,6 +181,8 @@ func New(tr *tree.Tree, opts Options) (*Server, error) {
 	n, err := runtime.New(tr, cfg, runtime.Options{
 		Timeout:    opts.Timeout,
 		LinkBuffer: opts.LinkBuffer,
+		Pace:       opts.Pace,
+		IdlePace:   opts.IdlePace,
 		OnDrop:     opts.OnDrop,
 	})
 	if err != nil {
@@ -156,10 +192,13 @@ func New(tr *tree.Tree, opts Options) (*Server, error) {
 		opts:     opts,
 		tr:       tr,
 		net:      n,
+		loadIdx:  newLoadIndex(tr.N()),
 		dedupe:   newDedupeStore(opts.DedupeTTL),
 		met:      newMetrics(),
-		leases:   make(map[string]*lease),
 		sessions: make(map[*session]struct{}),
+	}
+	for i := range s.leases {
+		s.leases[i].m = make(map[string]*lease)
 	}
 	s.procs = make([]*procServer, tr.N())
 	for p := 0; p < tr.N(); p++ {
@@ -168,6 +207,8 @@ func New(tr *tree.Tree, opts Options) (*Server, error) {
 			s:     s,
 			queue: make(chan *pendingAcquire, opts.QueueDepth),
 			enter: make(chan struct{}, 4),
+			batch: make([]*pendingAcquire, 0, opts.K),
+			corks: make([]corkedReply, 0, opts.K),
 		}
 		// The grant signal runs on the process goroutine: never block it.
 		n.OnEnter(p, func(int) {
@@ -251,8 +292,8 @@ func (s *Server) MaxUnitsHeld() int64 { return s.met.maxUnitsHeld.Load() }
 // the ≤ℓ assertion to the post-re-stabilization window).
 func (s *Server) ResetMaxUnitsHeld() { s.met.maxUnitsHeld.Store(s.met.unitsHeld.Load()) }
 
-// accept hands every connection to a session goroutine, round-robin
-// assigned to a tree process.
+// accept hands every connection to a session goroutine. Sessions carry no
+// process affinity — every acquire is routed at admission time.
 func (s *Server) accept() {
 	defer s.wg.Done()
 	for {
@@ -260,12 +301,35 @@ func (s *Server) accept() {
 		if err != nil {
 			return // listener closed: shutdown
 		}
-		p := int(s.sessSeq.Add(1)-1) % s.tr.N()
-		ss := &session{id: s.sessSeq.Load(), p: p, conn: conn, s: s}
+		ss := &session{id: s.sessSeq.Add(1), conn: conn, s: s}
 		s.met.sessions.Add(1)
 		s.met.sessionsActive.Add(1)
 		s.wg.Add(1)
 		go ss.run()
+	}
+}
+
+// admit routes one acquire to the least-loaded process and enqueues it.
+// The overload check sits BEHIND routing: only when the routed queue and
+// the wrap-around fallback queue are both full is the acquire shed, so one
+// hot queue no longer rejects work that an idle process could take.
+func (s *Server) admit(pa *pendingAcquire) bool {
+	units := pa.req.Units
+	p := s.loadIdx.pick()
+	for attempt := 0; ; attempt++ {
+		pa.p = p
+		s.loadIdx.add(p, units)
+		select {
+		case s.procs[p].queue <- pa:
+			s.met.queueDepth.Add(1)
+			return true
+		default:
+			s.loadIdx.add(p, -units)
+			if attempt == 1 {
+				return false
+			}
+			p = s.loadIdx.next(p)
+		}
 	}
 }
 
@@ -285,6 +349,8 @@ type Stats struct {
 
 	Acquires        int64 `json:"acquires"`
 	Grants          int64 `json:"grants"`
+	Batches         int64 `json:"batches"`
+	BatchUnits      int64 `json:"batch_units"`
 	Releases        int64 `json:"releases"`
 	Expired         int64 `json:"leases_expired"`
 	Overloads       int64 `json:"rejects_overload"`
@@ -318,6 +384,8 @@ func (s *Server) Stats() Stats {
 
 		Acquires:        s.met.acquires.Load(),
 		Grants:          s.met.grants.Load(),
+		Batches:         s.met.batches.Load(),
+		BatchUnits:      s.met.batchUnits.Load(),
 		Releases:        s.met.releases.Load(),
 		Expired:         s.met.expired.Load(),
 		Overloads:       s.met.overloads.Load(),
@@ -353,46 +421,78 @@ func (s *Server) dropSession(ss *session) {
 	s.sessMu.Unlock()
 }
 
-// newLease registers a granted lease and arms its expiry timer.
-func (s *Server) newLease(p, units int, ttl time.Duration) *lease {
+func (s *Server) leaseShard(id string) *leaseShard {
+	return &s.leases[fnv1a(id)%dedupeShards]
+}
+
+// newLease registers a sub-lease of batch b and arms its expiry timer.
+func (s *Server) newLease(b *batch, units int, ttl time.Duration) *lease {
 	l := &lease{
-		id:       fmt.Sprintf("L%d", s.leaseSeq.Add(1)),
-		p:        p,
-		units:    units,
-		released: make(chan struct{}),
+		id:    fmt.Sprintf("L%d", s.leaseSeq.Add(1)),
+		p:     b.p,
+		units: units,
+		b:     b,
 	}
-	// Arm the timer under leaseMu: the expiry callback reads l.timer via
-	// releaseLease, which takes the same lock, so a near-instant expiry
+	sh := s.leaseShard(l.id)
+	// Arm the timer under the shard lock: the expiry callback reads l.timer
+	// via releaseLease, which takes the same lock, so a near-instant expiry
 	// cannot race the assignment.
-	s.leaseMu.Lock()
-	s.leases[l.id] = l
+	sh.mu.Lock()
+	sh.m[l.id] = l
 	l.timer = time.AfterFunc(ttl, func() { s.releaseLease(l, "expired") })
-	s.leaseMu.Unlock()
+	sh.mu.Unlock()
 	return l
 }
 
 // lookupLease resolves a lease id (nil if unknown or already released).
 func (s *Server) lookupLease(id string) *lease {
-	s.leaseMu.Lock()
-	defer s.leaseMu.Unlock()
-	return s.leases[id]
+	sh := s.leaseShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[id]
 }
 
-// releaseLease tears a lease down exactly once: hands the units back to the
-// protocol, unblocks the process worker, and accounts the teardown under
+// outstandingLeases snapshots every live lease (drain paths).
+func (s *Server) outstandingLeases() []*lease {
+	var out []*lease
+	for i := range s.leases {
+		sh := &s.leases[i]
+		sh.mu.Lock()
+		for _, l := range sh.m {
+			out = append(out, l)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+func (s *Server) leaseCount() int {
+	n := 0
+	for i := range s.leases {
+		s.leases[i].mu.Lock()
+		n += len(s.leases[i].m)
+		s.leases[i].mu.Unlock()
+	}
+	return n
+}
+
+// releaseLease tears a lease down exactly once: resolves its batch member
+// (the batch hands the units back to the protocol when its last member
+// resolves), unloads the routing index, and accounts the teardown under
 // how ("client", "expired", "drain").
 func (s *Server) releaseLease(l *lease, how string) {
 	l.once.Do(func() {
-		s.leaseMu.Lock()
+		sh := s.leaseShard(l.id)
+		sh.mu.Lock()
 		timer := l.timer
-		delete(s.leases, l.id)
-		s.leaseMu.Unlock()
+		delete(sh.m, l.id)
+		sh.mu.Unlock()
 		if timer != nil {
 			timer.Stop()
 		}
-		s.net.Release(l.p)
 		s.met.release(l.units, how)
-		close(l.released)
+		s.loadIdx.add(l.p, -l.units)
+		l.b.memberDone()
 	})
 }
 
@@ -407,26 +507,71 @@ func (s *Server) leaseTTL(requestedMS int64) time.Duration {
 	return ttl
 }
 
-// run is the per-process worker: it serves the acquire queue one lease at a
-// time, waiting out each lease before the next acquire (the protocol
-// interface of a process is strictly Out→Req→In→Out).
+// run is the per-process worker: it drains the acquire queue into batched
+// protocol cycles, one cycle at a time (the protocol interface of a process
+// is strictly Out→Req→In→Out).
 func (ps *procServer) run() {
 	s := ps.s
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
-			ps.drainQueue()
-			return
-		case pa := <-ps.queue:
-			s.met.queueDepth.Add(-1)
-			ps.serveOne(pa)
+		var first *pendingAcquire
+		if ps.carry != nil {
+			first, ps.carry = ps.carry, nil
+		} else {
+			select {
+			case <-s.ctx.Done():
+				ps.drainQueue()
+				return
+			case first = <-ps.queue:
+				s.met.queueDepth.Add(-1)
+			}
+		}
+		members, sum := ps.collect(first)
+		if len(members) > 0 {
+			ps.serveBatch(members, sum)
 		}
 	}
 }
 
-// drainQueue rejects everything still queued at shutdown.
+// collect greedily drains the queue into one batch: members join while
+// Σunits stays ≤ k and the member count within MaxBatch; draining/expired
+// acquires are rejected on the spot; the first acquire that does not fit is
+// carried into the next cycle. Collection never blocks — a lone acquire is
+// served as a batch of one rather than waiting for company.
+func (ps *procServer) collect(first *pendingAcquire) (members []*pendingAcquire, sum int) {
+	s := ps.s
+	members = ps.batch[:0]
+	pa := first
+	for {
+		switch {
+		case s.draining.Load():
+			ps.reject(pa, CodeDraining, "server shutting down")
+		case !pa.deadline.IsZero() && time.Now().After(pa.deadline):
+			ps.reject(pa, CodeDeadline, "deadline passed while queued")
+		case sum+pa.req.Units > s.opts.K,
+			s.opts.MaxBatch > 0 && len(members) >= s.opts.MaxBatch:
+			ps.carry = pa
+			return members, sum
+		default:
+			members = append(members, pa)
+			sum += pa.req.Units
+		}
+		select {
+		case pa = <-ps.queue:
+			s.met.queueDepth.Add(-1)
+		default:
+			return members, sum
+		}
+	}
+}
+
+// drainQueue rejects the carried acquire and everything still queued at
+// shutdown.
 func (ps *procServer) drainQueue() {
+	if ps.carry != nil {
+		ps.reject(ps.carry, CodeDraining, "server shutting down")
+		ps.carry = nil
+	}
 	for {
 		select {
 		case pa := <-ps.queue:
@@ -438,68 +583,116 @@ func (ps *procServer) drainQueue() {
 	}
 }
 
-// reject answers pa with an error code and releases its dedupe claim so an
-// honest retry is admitted fresh.
+// reject answers pa with an error code, unloads its routing claim, and
+// releases its dedupe claim so an honest retry is admitted fresh.
 func (ps *procServer) reject(pa *pendingAcquire, code, detail string) {
 	s := ps.s
 	switch code {
+	case CodeOverload:
+		s.met.overloads.Add(1)
 	case CodeDeadline:
 		s.met.deadlineRejs.Add(1)
 	case CodeDraining:
 		s.met.drainingRejs.Add(1)
 	}
+	s.loadIdx.add(pa.p, -pa.req.Units)
 	s.dedupe.forget(pa.req.ID)
 	pa.sess.reply(Response{ID: pa.req.ID, Err: code, Detail: detail})
+	putPending(pa)
 }
 
-// serveOne serves one queued acquire to completion: protocol request, grant,
-// lease registration, reply, and then waits for the lease to die.
-func (ps *procServer) serveOne(pa *pendingAcquire) {
+// serveBatch runs one protocol cycle for the collected members: a single
+// multi-unit request, the grant fanned out as one sub-lease per member
+// (replies corked per connection), then the wait for the batch to resolve.
+// Client hold time still spans the cycle, but it is amortized over every
+// member instead of dedicating a full cycle to each lease.
+func (ps *procServer) serveBatch(members []*pendingAcquire, sum int) {
 	s := ps.s
-	if s.draining.Load() {
-		ps.reject(pa, CodeDraining, "server shutting down")
-		return
+	// A stale enter signal (absorbed by the buffered channel during
+	// stabilization churn) must not masquerade as this cycle's grant.
+	for {
+		select {
+		case <-ps.enter:
+			continue
+		default:
+		}
+		break
 	}
-	if !pa.deadline.IsZero() && time.Now().After(pa.deadline) {
-		ps.reject(pa, CodeDeadline, "deadline passed while queued")
-		return
-	}
-	if err := s.net.Request(ps.p, pa.req.Units); err != nil {
+	if err := s.net.Request(ps.p, sum); err != nil {
 		// The worker serializes this process's interface, so a refusal is a
-		// server bug or a corrupted state mid-stabilization; shed the
-		// request rather than wedge the queue.
-		ps.reject(pa, CodeOverload, fmt.Sprintf("protocol refused request: %v", err))
+		// server bug or a corrupted state mid-stabilization; shed the batch
+		// rather than wedge the queue.
+		detail := "protocol refused request: " + err.Error()
+		for _, pa := range members {
+			ps.reject(pa, CodeOverload, detail)
+		}
 		return
 	}
 	select {
 	case <-ps.enter:
 	case <-s.ctx.Done():
-		ps.reject(pa, CodeDraining, "server stopped before grant")
-		return
-	}
-	latencyUS := time.Since(pa.enqueued).Microseconds()
-	if s.draining.Load() || (!pa.deadline.IsZero() && time.Now().After(pa.deadline)) {
-		// Granted too late: hand the units straight back.
-		s.net.Release(ps.p)
-		code, detail := CodeDeadline, "deadline passed before grant"
-		if s.draining.Load() {
-			code, detail = CodeDraining, "server shutting down"
+		for _, pa := range members {
+			ps.reject(pa, CodeDraining, "server stopped before grant")
 		}
-		ps.reject(pa, code, detail)
 		return
 	}
-	l := s.newLease(ps.p, pa.req.Units, s.leaseTTL(pa.req.LeaseMS))
-	resp := Response{ID: pa.req.ID, OK: true, Lease: l.id, Units: pa.req.Units, Process: ps.p}
-	s.dedupe.complete(pa.req.ID, &resp, time.Now())
-	s.met.grant(pa.req.Units, latencyUS)
-	pa.sess.reply(resp)
-	select {
-	case <-l.released:
-	case <-s.ctx.Done():
-		// Immediate Close may have swept the lease map before this lease
-		// registered; release it ourselves rather than park until its TTL.
-		s.releaseLease(l, "drain")
+
+	now := time.Now()
+	b := newBatch(ps.p, len(members), sum, func() { s.net.Release(ps.p) })
+	s.met.batch(sum)
+	leases := make([]*lease, 0, len(members))
+	corks := ps.corks[:0]
+	drainingNow := s.draining.Load()
+	for _, pa := range members {
+		if drainingNow || (!pa.deadline.IsZero() && now.After(pa.deadline)) {
+			// Granted too late: resolve the member straight away; its units
+			// ride out this cycle unused and return with the batch.
+			code, detail := CodeDeadline, "deadline passed before grant"
+			if drainingNow {
+				code, detail = CodeDraining, "server shutting down"
+			}
+			ps.reject(pa, code, detail)
+			b.memberDone()
+			continue
+		}
+		l := s.newLease(b, pa.req.Units, s.leaseTTL(pa.req.LeaseMS))
+		leases = append(leases, l)
+		resp := Response{ID: pa.req.ID, OK: true, Lease: l.id, Units: pa.req.Units, Process: ps.p}
+		s.dedupe.complete(pa.req.ID, &resp, now)
+		s.met.grant(pa.req.Units, now.Sub(pa.enqueued).Microseconds())
+		corks = corkReply(corks, pa.sess, &resp)
+		putPending(pa)
 	}
+	for i := range corks {
+		corks[i].ss.writeRaw(*corks[i].buf)
+		putFrameBuf(corks[i].buf)
+		corks[i] = corkedReply{}
+	}
+	select {
+	case <-b.done:
+	case <-s.ctx.Done():
+		// Immediate Close may have swept the lease registry before this
+		// batch's leases registered; resolve them ourselves rather than
+		// park until their TTLs.
+		for _, l := range leases {
+			s.releaseLease(l, "drain")
+		}
+		<-b.done
+	}
+}
+
+// corkReply appends resp's frame to the buffer bound for ss, opening a new
+// one on ss's first reply of this batch.
+func corkReply(corks []corkedReply, ss *session, resp *Response) []corkedReply {
+	for i := range corks {
+		if corks[i].ss == ss {
+			*corks[i].buf = appendResponseFrame(*corks[i].buf, resp)
+			return corks
+		}
+	}
+	buf := getFrameBuf()
+	*buf = appendResponseFrame(*buf, resp)
+	return append(corks, corkedReply{ss: ss, buf: buf})
 }
 
 // Shutdown drains gracefully: stop accepting, reject queued and new
@@ -511,17 +704,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining.Store(true)
 	s.ln.Close()
-	// Nudge the workers: anything queued is rejected by serveOne's draining
-	// check as it surfaces; now wait for lease teardown.
+	// Nudge the workers: anything queued is rejected by the workers' drain
+	// checks as it surfaces; now wait for lease teardown.
 	deadline := time.After(s.opts.DrainTimeout)
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 wait:
 	for {
-		s.leaseMu.Lock()
-		n := len(s.leases)
-		s.leaseMu.Unlock()
-		if n == 0 {
+		if s.leaseCount() == 0 {
 			break
 		}
 		select {
@@ -533,13 +723,7 @@ wait:
 		}
 	}
 	// Force-release whatever clients did not return in time.
-	s.leaseMu.Lock()
-	remaining := make([]*lease, 0, len(s.leases))
-	for _, l := range s.leases {
-		remaining = append(remaining, l)
-	}
-	s.leaseMu.Unlock()
-	for _, l := range remaining {
+	for _, l := range s.outstandingLeases() {
 		s.releaseLease(l, "drain")
 	}
 	s.Close()
@@ -559,14 +743,8 @@ func (s *Server) Close() {
 		s.metrics.Close()
 	}
 	// Force-release outstanding leases while the process goroutines still
-	// run (releaseLease talks to them), unblocking parked workers.
-	s.leaseMu.Lock()
-	remaining := make([]*lease, 0, len(s.leases))
-	for _, l := range s.leases {
-		remaining = append(remaining, l)
-	}
-	s.leaseMu.Unlock()
-	for _, l := range remaining {
+	// run (the batch teardown talks to them), unblocking parked workers.
+	for _, l := range s.outstandingLeases() {
 		s.releaseLease(l, "drain")
 	}
 	s.cancel()

@@ -6,24 +6,35 @@ import (
 	"time"
 )
 
-// session is one accepted connection, pinned to tree process p. The read
-// loop dispatches frames; replies may come from this goroutine (release,
-// stats, rejects) or from the process worker (grants), serialized by wmu.
+// session is one accepted connection. Sessions carry no process affinity:
+// every acquire is routed at admission time to the least-loaded process. The
+// read loop dispatches frames; replies may come from this goroutine
+// (release, stats, rejects) or from any process worker (grants), serialized
+// by wmu.
 type session struct {
 	id   int64
-	p    int
 	conn net.Conn
 	s    *Server
 	wmu  sync.Mutex
 }
 
-// reply writes one response frame; a write error just means the client went
-// away (its leases still expire by TTL).
+// reply encodes and writes one response frame through the pooled encoder; a
+// write error just means the client went away (its leases still expire by
+// TTL).
 func (ss *session) reply(resp Response) {
+	buf := getFrameBuf()
+	*buf = appendResponseFrame(*buf, &resp)
+	ss.writeRaw(*buf)
+	putFrameBuf(buf)
+}
+
+// writeRaw writes pre-encoded frame bytes (possibly several corked frames)
+// in one Write call under the session write lock.
+func (ss *session) writeRaw(b []byte) {
 	ss.wmu.Lock()
 	defer ss.wmu.Unlock()
 	ss.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	_ = WriteFrame(ss.conn, resp)
+	_, _ = ss.conn.Write(b)
 }
 
 func (ss *session) run() {
@@ -67,8 +78,9 @@ func (ss *session) run() {
 }
 
 // acquire admits one acquire frame: dedupe first (a retry is answered from
-// the store without touching the queue), then the bounded per-process queue
-// with explicit overload rejection.
+// the store without touching any queue), then routed admission through the
+// load index, with explicit overload rejection only when both candidate
+// queues are full.
 func (ss *session) acquire(req *Request) {
 	s := ss.s
 	now := time.Now()
@@ -88,17 +100,18 @@ func (ss *session) acquire(req *Request) {
 		ss.reply(Response{ID: req.ID, Err: CodeDraining, Detail: "server shutting down"})
 		return
 	}
-	pa := &pendingAcquire{req: *req, sess: ss, enqueued: now}
+	pa := getPending()
+	pa.req = *req
+	pa.sess = ss
+	pa.enqueued = now
 	if req.DeadlineMS > 0 {
 		pa.deadline = now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	select {
-	case s.procs[ss.p].queue <- pa:
-		s.met.queueDepth.Add(1)
-	default:
+	if !s.admit(pa) {
 		s.met.overloads.Add(1)
 		s.dedupe.forget(req.ID)
-		ss.reply(Response{ID: req.ID, Err: CodeOverload, Detail: "process queue full"})
+		ss.reply(Response{ID: req.ID, Err: CodeOverload, Detail: "process queues full"})
+		putPending(pa)
 	}
 }
 

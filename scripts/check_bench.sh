@@ -67,11 +67,34 @@ if [ -f BENCH_scale.json ]; then
     done
 fi
 
+# The serve sweep's completed throughput must beat this floor at its best
+# point. The batched-admission overhaul took the curve from ~22.6/s (the
+# seed's best, p50 ~2.2s — the unpaced token circulation starved the TCP
+# goroutines of CPU) to saturating the offered load; 10× the seed still
+# leaves 1.7× of headroom under the measured post-overhaul curve, so noise
+# does not flake the gate but any return of the starvation regime fails it.
+SERVE_THROUGHPUT_FLOOR=226
+
 if [ -f BENCH_serve.json ]; then
     # The serve record is an offered-load sweep; a point with zero completed
     # acquires or empty latency percentiles means the server (or the load
     # generator) silently did nothing and the "latency curve" is vacuous.
     grep -q '"entries"' BENCH_serve.json || err "BENCH_serve.json: old schema (no entries sweep)"
+    # The sweep drives 8 concurrent clients against a live server: captured
+    # on one processor it measures time-slicing, not serving (same rationale
+    # as the parallel-record floor above).
+    gmp=$(jnum BENCH_serve.json gomaxprocs)
+    if [ -z "$gmp" ]; then
+        err "BENCH_serve.json: no gomaxprocs field"
+    elif [ "${gmp%.*}" -lt 2 ]; then
+        err "BENCH_serve.json: degenerate serve record captured at gomaxprocs=$gmp (need >= 2)"
+    fi
+    best_tp=$(sed -n 's/^.*"throughput_per_sec": *\([0-9][0-9.e+-]*\).*$/\1/p' BENCH_serve.json | sort -g | tail -n 1)
+    if [ -z "$best_tp" ]; then
+        err "BENCH_serve.json: no throughput_per_sec fields found (schema drift?)"
+    elif [ "$(awk "BEGIN { print ($best_tp >= $SERVE_THROUGHPUT_FLOOR) ? 1 : 0 }")" != 1 ]; then
+        err "BENCH_serve.json: best completed throughput $best_tp/s under the $SERVE_THROUGHPUT_FLOOR/s floor (serve-path regression?)"
+    fi
     grep -q '"completed": 0,' BENCH_serve.json \
         && err "BENCH_serve.json: a sweep point completed zero acquires (dead server recorded?)" || true
     grep -q '"latency_count": 0' BENCH_serve.json \

@@ -87,5 +87,24 @@ grep -q 'func Run(' internal/serve/loadgen/loadgen.go || err "loadgen.Run gone b
 grep -q 'func (h \*Histogram) Quantile' internal/stats/stats.go || err "stats.Histogram.Quantile gone but documented"
 grep -q 'FramesDropped' internal/runtime/runtime.go || err "runtime frame-drop counter gone but documented"
 
+# The batched-admission overhaul's documented surface: the architecture doc
+# must cover batching, sub-lease accounting, routing and pacing; the code
+# symbols and CLI flags it describes must still exist; and the README must
+# document the GOMAXPROCS >= 2 recording requirement and the -timeout knob.
+grep -q 'Cycles are batched, multi-unit' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the batched-cycles section"
+grep -q 'Sub-lease accounting is refcounted' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the sub-lease accounting section"
+grep -q 'Routing is per-acquire' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the per-acquire routing section"
+grep -q 'Delivery is paced' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the delivery pacing section"
+grep -q 'batching is protocol-legal' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the batching-legality argument"
+grep -q 'func newBatch(' internal/serve/batch.go || err "serve batch type gone but documented"
+grep -q 'func newLoadIndex(' internal/serve/route.go || err "serve load index gone but documented"
+grep -q 'MaxBatch' internal/serve/server.go || err "serve Options.MaxBatch gone but documented"
+grep -q 'IdlePace' internal/runtime/runtime.go || err "runtime delivery pacing gone but documented"
+grep -q '"max-batch"' cmd/koflserve/main.go || err "koflserve -max-batch gone but documented"
+grep -q '"idle-pace"' cmd/koflserve/main.go || err "koflserve -idle-pace gone but documented"
+grep -q '\-timeout' README.md || err "README.md no longer documents koflserve -timeout"
+grep -q 'GOMAXPROCS >= 2' README.md || err "README.md no longer documents the BENCH_serve GOMAXPROCS requirement"
+grep -q 'SERVE_THROUGHPUT_FLOOR' scripts/check_bench.sh || err "check_bench.sh lost the serve throughput floor"
+
 [ "$fail" -eq 0 ] && echo "check_docs: OK"
 exit "$fail"

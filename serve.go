@@ -6,11 +6,14 @@ import (
 
 // LeaseServer is a network-facing resource-lease server over a Live tree:
 // external clients acquire and release the protocol's ℓ resource units over
-// a length-prefixed JSON TCP protocol, with bounded per-process queues
-// (explicit overload rejection), idempotent acquire via a TTL dedupe store,
-// lease expiry, and Prometheus-style metrics. See the serve package docs
-// for the full serving model and Server for the method set (Addr, Stats,
-// WriteMetrics, Shutdown, Close).
+// a length-prefixed JSON TCP protocol. Acquires are routed per-request to
+// the least-loaded process and served in batched protocol cycles (one
+// multi-unit Request per cycle, Σunits ≤ k, fanned out as independent
+// sub-leases), with bounded per-process queues (explicit overload
+// rejection), idempotent acquire via a TTL dedupe store, lease expiry, and
+// Prometheus-style metrics. See the serve package docs for the full serving
+// model and Server for the method set (Addr, Stats, WriteMetrics, Shutdown,
+// Close).
 type LeaseServer = serve.Server
 
 // ServeOptions configures a LeaseServer.
