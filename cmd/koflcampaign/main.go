@@ -229,6 +229,7 @@ func cmdRun(args []string) error {
 	jsonOut := fs.String("json", "", "write the aggregate report JSON to this file")
 	csvOut := fs.String("csv", "", "write the per-cell aggregate CSV to this file")
 	traceDir := fs.String("trace-dir", "", "directory for captured outlier traces (enables the spec's trace predicate)")
+	progress := fs.Bool("progress", false, "print a periodic per-worker progress line to stderr (slot rate and per-worker completions; 1s cadence)")
 	quiet := fs.Bool("quiet", false, "suppress the progress line and summary table")
 	example := fs.Bool("example", false, "print an example spec and exit (legacy)")
 	if err := fs.Parse(args); err != nil {
@@ -259,7 +260,12 @@ func cmdRun(args []string) error {
 	}
 
 	opts := kofl.CampaignOptions{Workers: *workers, TraceDir: *traceDir}
-	if !*quiet {
+	if *progress {
+		eo := campaign.NewExecObs(nil)
+		opts.Obs = eo
+		stop := startProgressTicker(eo)
+		defer stop()
+	} else if !*quiet {
 		opts.Progress = progressLine()
 	}
 
@@ -420,6 +426,41 @@ func emit(esc *kofl.CampaignEscalated, jsonOut, csvOut string) error {
 		return f.Close()
 	}
 	return nil
+}
+
+// startProgressTicker prints a per-worker progress line to stderr every
+// second — slots done/total, the last second's completion rate, and each
+// worker's completion count — until the returned stop function is called
+// (which prints one final line). The data comes from the engine's ExecObs
+// counters, so the line costs the workers one sharded counter bump per slot.
+func startProgressTicker(eo *campaign.ExecObs) (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		last := eo.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				cur := eo.Done()
+				fmt.Fprintf(os.Stderr, "progress: %d/%d slots (%d slots/s) workers %v\n",
+					cur, eo.Total(), cur-last, eo.WorkerSlots())
+				last = cur
+			}
+		}
+	}()
+	// The final line drops the shard total: Done accumulates across
+	// escalation rounds while Total is the last shard's slot count.
+	return func() {
+		close(done)
+		<-stopped
+		fmt.Fprintf(os.Stderr, "progress: %d slots done, workers %v\n",
+			eo.Done(), eo.WorkerSlots())
+	}
 }
 
 func progressLine() func(done, total int) {

@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "koflserve:", err)
 		if _, ok := err.(usageError); ok {
 			fs, _ := flags()
@@ -62,6 +62,7 @@ type options struct {
 	n, k, l, cmax int
 	seed          int64
 	addr, metrics string
+	debugAddr     string
 	timeout       time.Duration
 	pace          time.Duration
 	idlePace      time.Duration
@@ -90,6 +91,7 @@ func flags() (*flag.FlagSet, *options) {
 	fs.Int64Var(&o.seed, "seed", 1, "seed for -topo random")
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:0", "TCP listen address (port 0 = pick one)")
 	fs.StringVar(&o.metrics, "metrics", "", "HTTP /metrics listen address (empty = disabled)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "HTTP debug-surface listen address: unified /metrics, /healthz, /readyz, /debug/events, /debug/pprof/* (empty = disabled)")
 	fs.DurationVar(&o.timeout, "timeout", serve.DefaultTimeout, "root retransmission timeout (tightening below a few ms causes retransmission storms)")
 	fs.DurationVar(&o.pace, "pace", serve.DefaultPace, "protocol delivery pace while acquires wait (negative = full speed)")
 	fs.DurationVar(&o.idlePace, "idle-pace", serve.DefaultIdlePace, "protocol delivery pace while no acquire waits (negative = full speed)")
@@ -132,7 +134,7 @@ func buildTree(topo string, n int, seed int64) (*kofl.Tree, error) {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs, o := flags()
 	fs.SetOutput(io.Discard) // errors are reported (and usage printed) by main
 	if err := fs.Parse(args); err != nil {
@@ -166,7 +168,7 @@ func run(args []string, out io.Writer) error {
 
 	srv, err := kofl.Serve(tr, kofl.ServeOptions{
 		K: o.k, L: o.l, CMAX: o.cmax,
-		Addr: o.addr, MetricsAddr: o.metrics,
+		Addr: o.addr, MetricsAddr: o.metrics, DebugAddr: o.debugAddr,
 		Timeout: o.timeout, Pace: o.pace, IdlePace: o.idlePace,
 		MaxBatch: o.maxBatch, QueueDepth: o.queue,
 		LeaseTTL: o.leaseTTL, DedupeTTL: o.dedupeTTL, DrainTimeout: o.drain,
@@ -197,6 +199,11 @@ func run(args []string, out io.Writer) error {
 		if err := enc.Encode(res); err != nil {
 			return err
 		}
+		// Human summary on errOut so stdout stays pure JSON for scripts.
+		fmt.Fprintf(errOut,
+			"latency p50=%dµs p95=%dµs p99=%dµs (%d samples); rejects: overload=%d deadline=%d\n",
+			res.LatencyP50us, res.LatencyP95us, res.LatencyP99us, res.LatencyCount,
+			res.Overloads, res.Deadlines)
 		if res.Violations != 0 {
 			return fmt.Errorf("load test observed %d protocol violations", res.Violations)
 		}
@@ -206,6 +213,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "koflserve: serving %s (n=%d) k=%d l=%d on %s\n", o.topo, tr.N(), o.k, o.l, srv.Addr())
 	if m := srv.MetricsAddr(); m != "" {
 		fmt.Fprintf(out, "koflserve: metrics on http://%s/metrics\n", m)
+	}
+	if d := srv.DebugAddr(); d != "" {
+		fmt.Fprintf(out, "koflserve: debug surface on http://%s (/metrics /healthz /readyz /debug/events /debug/pprof/)\n", d)
 	}
 
 	stop := make(chan os.Signal, 1)

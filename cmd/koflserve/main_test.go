@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestUsageErrors(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out bytes.Buffer
-			err := run(tc.args, &out)
+			err := run(tc.args, &out, io.Discard)
 			if err == nil {
 				t.Fatal("accepted")
 			}
@@ -46,7 +47,7 @@ func TestUsageErrors(t *testing.T) {
 func TestServeForDuration(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-topo", "star", "-n", "4", "-k", "2", "-l", "3",
-		"-duration", "300ms"}, &out); err != nil {
+		"-duration", "300ms"}, &out, io.Discard); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -58,11 +59,12 @@ func TestServeForDuration(t *testing.T) {
 }
 
 // TestLoadMode runs the embedded load test and checks the printed report:
-// parseable JSON, zero protocol violations, non-empty latency histogram.
+// parseable JSON on stdout, zero protocol violations, non-empty latency
+// histogram, and the human latency/rejects summary line on stderr.
 func TestLoadMode(t *testing.T) {
-	var out bytes.Buffer
+	var out, errOut bytes.Buffer
 	if err := run([]string{"-topo", "paper", "-k", "3", "-l", "5",
-		"-load", "100", "-load-duration", "1s"}, &out); err != nil {
+		"-load", "100", "-load-duration", "1s"}, &out, &errOut); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	var res loadgen.Result
@@ -74,5 +76,11 @@ func TestLoadMode(t *testing.T) {
 	}
 	if res.Completed == 0 || res.LatencyCount == 0 {
 		t.Fatalf("empty load report: %+v", res)
+	}
+	summary := errOut.String()
+	for _, want := range []string{"p50=", "p95=", "p99=", "overload=", "deadline="} {
+		if !strings.Contains(summary, want) {
+			t.Fatalf("summary line missing %q:\n%s", want, summary)
+		}
 	}
 }

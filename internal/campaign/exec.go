@@ -14,6 +14,7 @@ import (
 	"kofl/internal/core"
 	"kofl/internal/faults"
 	"kofl/internal/message"
+	"kofl/internal/obs"
 	"kofl/internal/sim"
 	"kofl/internal/tree"
 	"kofl/internal/workload"
@@ -38,6 +39,10 @@ type Options struct {
 	// but note the capture predicate annotates the report (RunResult.Trace),
 	// so all shards of one campaign must agree on whether TraceDir is set.
 	TraceDir string
+	// Obs, when non-nil, receives per-worker slot-completion counters and
+	// shard totals (see ExecObs) — the data behind koflcampaign's -progress
+	// line. It never affects report bytes.
+	Obs *ExecObs
 }
 
 // SlotHook observes one completed slot. Implementations may annotate the
@@ -288,15 +293,22 @@ func ExecuteShard(plan *Plan, i, m int, opts Options) (*Partial, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Obs != nil {
+		opts.Obs.slotsTotal.Store(int64(len(slots)))
+	}
 	results := make([]SlotResult, len(slots))
 	chunk := int64(chunkSize(len(slots), workers))
 	var cursor, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ws := newWorkerState()
+			var wc *obs.Counter
+			if opts.Obs != nil {
+				wc = opts.Obs.worker(w)
+			}
 			for {
 				end := cursor.Add(chunk)
 				start := end - chunk
@@ -321,12 +333,16 @@ func ExecuteShard(plan *Plan, i, m int, opts Options) (*Partial, error) {
 						h(hc)
 					}
 					results[j] = SlotResult{Slot: slot.Index, Result: rr}
+					if wc != nil {
+						wc.Add(1)
+						opts.Obs.slotsDone.Add(1)
+					}
 					if opts.Progress != nil {
 						opts.Progress(int(done.Add(1)), len(slots))
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if capture != nil {

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"strconv"
+	"sync"
+
+	"kofl/internal/obs"
+)
+
+// ExecObs is the engine's instrumentation: shard slot totals plus per-worker
+// completion counters (one kofl_campaign_worker_slots_total series per
+// worker goroutine). Build one with NewExecObs and pass it via Options.Obs;
+// the same ExecObs survives multiple ExecuteShard invocations (escalation
+// rounds reuse it), accumulating across them. Reads (Done, Total,
+// WorkerSlots) are safe while a shard executes — the -progress line polls
+// them from a ticker goroutine.
+type ExecObs struct {
+	slotsDone  *obs.Counter
+	slotsTotal *obs.Gauge
+	vec        *obs.CounterVec
+
+	mu        sync.Mutex
+	perWorker []*obs.Counter // index = worker goroutine ordinal
+}
+
+// NewExecObs registers the kofl_campaign_* series on reg and returns the
+// instrumentation handle. reg may be nil for a standalone handle (counters
+// still work; nothing is exposed).
+func NewExecObs(reg *obs.Registry) *ExecObs {
+	eo := &ExecObs{}
+	if reg != nil {
+		eo.slotsDone = reg.Counter("kofl_campaign_slots_done_total", "campaign slots completed")
+		eo.slotsTotal = reg.Gauge("kofl_campaign_slots_total", "slots in the executing shard")
+		eo.vec = reg.CounterVec("kofl_campaign_worker_slots_total",
+			"slots completed per worker goroutine", "worker")
+	} else {
+		eo.slotsDone = new(obs.Counter)
+		eo.slotsTotal = new(obs.Gauge)
+		eo.vec = new(obs.CounterVec)
+	}
+	return eo
+}
+
+// worker returns worker w's completion counter, creating its series on first
+// use (setup time, per worker — not per slot).
+func (eo *ExecObs) worker(w int) *obs.Counter {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	for len(eo.perWorker) <= w {
+		eo.perWorker = append(eo.perWorker, nil)
+	}
+	if eo.perWorker[w] == nil {
+		eo.perWorker[w] = eo.vec.With(strconv.Itoa(w))
+	}
+	return eo.perWorker[w]
+}
+
+// Done returns the slots completed so far (across all shards run with this
+// handle).
+func (eo *ExecObs) Done() int64 { return eo.slotsDone.Load() }
+
+// Total returns the slot count of the currently executing shard.
+func (eo *ExecObs) Total() int64 { return eo.slotsTotal.Load() }
+
+// WorkerSlots snapshots per-worker completion counts, indexed by worker
+// goroutine ordinal.
+func (eo *ExecObs) WorkerSlots() []int64 {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	out := make([]int64, len(eo.perWorker))
+	for i, c := range eo.perWorker {
+		if c != nil {
+			out[i] = c.Load()
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition strictly validates a Prometheus text exposition:
+//
+//   - every sample belongs to a family whose # HELP and # TYPE lines appear
+//     before its first sample;
+//   - no family is declared twice and no exact series (name + label set)
+//     appears twice;
+//   - histogram families have monotone non-decreasing cumulative le buckets
+//     in ascending le order, a +Inf bucket, and a _count equal to the +Inf
+//     bucket, plus a _sum;
+//   - summary families have _sum and _count.
+//
+// It is the engine behind the exposition-correctness tests over the serve
+// and runtime registries, and it intentionally knows nothing about this
+// repo's series names — any strict-format violation fails.
+func CheckExposition(data []byte) error {
+	type fam struct {
+		typ      string
+		helpSeen bool
+		sampled  bool
+		// histogram accounting
+		bucketSeen bool
+		lastLe     float64
+		lastCum    int64
+		infCum     int64
+		infSeen    bool
+		sumSeen    bool
+		count      int64
+		countSet   bool
+	}
+	fams := make(map[string]*fam)
+	series := make(map[string]bool)
+	get := func(name string) *fam {
+		f := fams[name]
+		if f == nil {
+			f = &fam{}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for lineno, line := range strings.Split(string(data), "\n") {
+		ln := lineno + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return fmt.Errorf("line %d: malformed HELP", ln)
+			}
+			f := get(name)
+			if f.helpSeen {
+				return fmt.Errorf("line %d: duplicate HELP for %s", ln, name)
+			}
+			if f.sampled {
+				return fmt.Errorf("line %d: HELP for %s after its samples", ln, name)
+			}
+			f.helpSeen = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE", ln)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q for %s", ln, typ, name)
+			}
+			f := get(name)
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			if f.sampled {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", ln, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		// Sample line: name[{labels}] value
+		nameAndLabels, valueStr, ok := strings.Cut(line, " ")
+		if !ok || valueStr == "" || strings.ContainsRune(valueStr, ' ') {
+			return fmt.Errorf("line %d: malformed sample %q", ln, line)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", ln, valueStr, err)
+		}
+		if series[nameAndLabels] {
+			return fmt.Errorf("line %d: duplicate series %s", ln, nameAndLabels)
+		}
+		series[nameAndLabels] = true
+
+		sname := nameAndLabels
+		var labels string
+		if i := strings.IndexByte(sname, '{'); i >= 0 {
+			if !strings.HasSuffix(sname, "}") {
+				return fmt.Errorf("line %d: unterminated label set in %q", ln, nameAndLabels)
+			}
+			labels = sname[i+1 : len(sname)-1]
+			sname = sname[:i]
+		}
+
+		// Resolve the family the sample belongs to: histogram samples use
+		// base_bucket/base_sum/base_count; summaries base{quantile=..},
+		// base_sum, base_count.
+		famName, role := sname, "value"
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sname, suf)
+			if base == sname {
+				continue
+			}
+			if bf, ok := fams[base]; ok && (bf.typ == "histogram" || bf.typ == "summary") {
+				famName, role = base, strings.TrimPrefix(suf, "_")
+				break
+			}
+		}
+		f := fams[famName]
+		if f == nil {
+			return fmt.Errorf("line %d: sample %s has no # TYPE/HELP header", ln, nameAndLabels)
+		}
+		if f.typ == "" {
+			return fmt.Errorf("line %d: sample %s missing # TYPE", ln, nameAndLabels)
+		}
+		if !f.helpSeen {
+			return fmt.Errorf("line %d: sample %s missing # HELP", ln, nameAndLabels)
+		}
+		if f.typ == "histogram" && role == "value" {
+			return fmt.Errorf("line %d: bare sample %s on histogram family", ln, nameAndLabels)
+		}
+		f.sampled = true
+
+		switch role {
+		case "bucket":
+			if f.typ != "histogram" {
+				return fmt.Errorf("line %d: _bucket sample on non-histogram %s", ln, famName)
+			}
+			le := labelValue(labels, "le")
+			if le == "" {
+				return fmt.Errorf("line %d: bucket without le label: %s", ln, nameAndLabels)
+			}
+			cum := int64(value)
+			if le == "+Inf" {
+				if f.infSeen {
+					return fmt.Errorf("line %d: duplicate +Inf bucket for %s", ln, famName)
+				}
+				f.infSeen, f.infCum = true, cum
+				if cum < f.lastCum {
+					return fmt.Errorf("%s: +Inf bucket %d below preceding cumulative %d",
+						famName, cum, f.lastCum)
+				}
+				break
+			}
+			leV, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", ln, le, err)
+			}
+			if f.infSeen {
+				return fmt.Errorf("line %d: finite bucket after +Inf for %s", ln, famName)
+			}
+			if f.bucketSeen && leV <= f.lastLe {
+				return fmt.Errorf("%s: le buckets not ascending (%g after %g)", famName, leV, f.lastLe)
+			}
+			if cum < f.lastCum {
+				return fmt.Errorf("%s: cumulative bucket counts decrease (%d after %d)",
+					famName, cum, f.lastCum)
+			}
+			f.bucketSeen, f.lastLe, f.lastCum = true, leV, cum
+		case "sum":
+			f.sumSeen = true
+		case "count":
+			f.count, f.countSet = int64(value), true
+		case "value":
+			if f.typ == "summary" && labelValue(labels, "quantile") == "" {
+				return fmt.Errorf("line %d: summary sample without quantile label: %s", ln, nameAndLabels)
+			}
+		}
+	}
+
+	for name, f := range fams {
+		if f.typ == "" {
+			return fmt.Errorf("%s: HELP without TYPE", name)
+		}
+		if !f.helpSeen {
+			return fmt.Errorf("%s: TYPE without HELP", name)
+		}
+		switch f.typ {
+		case "histogram":
+			if !f.sampled {
+				return fmt.Errorf("%s: histogram family with no samples", name)
+			}
+			if !f.infSeen {
+				return fmt.Errorf("%s: histogram missing +Inf bucket", name)
+			}
+			if !f.sumSeen {
+				return fmt.Errorf("%s: histogram missing _sum", name)
+			}
+			if !f.countSet {
+				return fmt.Errorf("%s: histogram missing _count", name)
+			}
+			if f.count != f.infCum {
+				return fmt.Errorf("%s: _count %d != +Inf bucket %d", name, f.count, f.infCum)
+			}
+		case "summary":
+			if !f.sumSeen {
+				return fmt.Errorf("%s: summary missing _sum", name)
+			}
+			if !f.countSet {
+				return fmt.Errorf("%s: summary missing _count", name)
+			}
+		}
+	}
+	return nil
+}
+
+// labelValue extracts the (unquoted) value of label key from a rendered
+// label set like `le="250",job="x"`; "" when absent.
+func labelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k != key {
+			continue
+		}
+		if unq, err := strconv.Unquote(v); err == nil {
+			return unq
+		}
+		return v
+	}
+	return ""
+}

@@ -16,6 +16,7 @@ import (
 
 	"kofl/internal/core"
 	"kofl/internal/message"
+	"kofl/internal/obs"
 	"kofl/internal/tree"
 )
 
@@ -52,6 +53,12 @@ type Options struct {
 	// safe for concurrent use (may be nil). The FramesDropped counter is
 	// maintained regardless.
 	OnDrop func(p, ch int)
+	// Journal, when non-nil, receives structured stabilization telemetry:
+	// stabilized/destabilized transitions observed at the root's census
+	// traversals, root timeout firings, and fault injections. Entries are
+	// recorded from process goroutines; obs.Journal is concurrency-safe and
+	// allocation-free.
+	Journal *obs.Journal
 }
 
 // delivery is one decoded frame arriving on a labeled channel.
@@ -85,7 +92,14 @@ type Net struct {
 	framesDelivered atomic.Int64
 	framesRejected  atomic.Int64 // checksum/decoding failures (injected noise)
 	framesDropped   atomic.Int64 // full-link drops (backpressure signal)
+	framesPaced     atomic.Int64 // deliveries that slept a pacing beat
+	timeouts        atomic.Int64 // root retransmission timeout firings
 	grants          atomic.Int64
+
+	// stabilized tracks whether the last census traversal completed at the
+	// root observed the legitimate token population — the readiness signal
+	// of the serve layer's /readyz.
+	stabilized atomic.Bool
 
 	// demand counts application requests issued but not yet granted; the
 	// pumps deliver at full speed whenever it is non-zero (IdlePace).
@@ -158,10 +172,36 @@ func (n *Net) observe(e core.Event) {
 		n.grants.Add(1)
 		n.demandDone()
 	}
+	if e.Kind == core.EvCirculation {
+		// One controller traversal completed at the root; its census
+		// (N1 = resource, N2 = priority, N3 = pusher token counts, Flag =
+		// reset pending) is legitimate iff the populations are exact and no
+		// reset traversal is in flight — the paper's legitimate-configuration
+		// predicate restricted to what the root can see.
+		legit := e.N1 == n.cfg.L && !e.Flag &&
+			(!n.cfg.Features.Priority || e.N2 == 1) &&
+			(!n.cfg.Features.Pusher || e.N3 == 1)
+		if n.stabilized.Swap(legit) != legit {
+			if n.opts.Journal != nil {
+				k := obs.KindStabilized
+				if !legit {
+					k = obs.KindDestabilized
+				}
+				n.opts.Journal.Record(k, int32(e.P), int64(e.N1), int64(e.N2))
+			}
+		}
+	}
 	if n.opts.Observer != nil {
 		n.opts.Observer(e)
 	}
 }
+
+// Stabilized reports whether the most recent census traversal completed at
+// the root observed the legitimate token population. It is false until the
+// first legitimate traversal completes (the bootstrap from the empty
+// configuration), and flips back on mid-run destabilization (e.g. injected
+// garbage) until the controller repairs the population.
+func (n *Net) Stabilized() bool { return n.stabilized.Load() }
 
 // demandDone retires one outstanding request from the demand gauge, floored
 // at zero: stabilization noise can fire EnterCS for a request the demand
@@ -273,6 +313,7 @@ func (pr *proc) pump(ctx context.Context, ch int, link chan []byte, wg *sync.Wai
 				pace = idle
 			}
 			if pace > 0 {
+				pr.net.framesPaced.Add(1)
 				time.Sleep(pace)
 			}
 			m, _, err := message.Decode(frame)
@@ -309,6 +350,10 @@ func (pr *proc) run(ctx context.Context, wg *sync.WaitGroup) {
 			pr.net.framesDelivered.Add(1)
 			pr.node.HandleMessage(d.ch, d.m, env)
 		case <-timerC:
+			pr.net.timeouts.Add(1)
+			if j := pr.net.opts.Journal; j != nil {
+				j.Record(obs.KindTimeout, int32(pr.id), 0, 0)
+			}
 			pr.node.HandleTimeout(env)
 		case cmd := <-pr.cmds:
 			var err error
@@ -402,6 +447,45 @@ func (n *Net) FramesRejected() int64 { return n.framesRejected.Load() }
 // pre-Start injection overflow drops, both count).
 func (n *Net) FramesDropped() int64 { return n.framesDropped.Load() }
 
+// FramesPaced returns the number of deliveries that slept a pacing beat
+// (Pace/IdlePace) before delivering — the signal that pacing, not protocol
+// work, dominates idle-network CPU shape.
+func (n *Net) FramesPaced() int64 { return n.framesPaced.Load() }
+
+// Timeouts returns the number of root retransmission-timeout firings. In
+// steady state this stays flat; a climbing rate means the timeout is too
+// tight for the configured pacing (retransmission storms).
+func (n *Net) Timeouts() int64 { return n.timeouts.Load() }
+
+// Register exposes the network's counters on reg under the given series
+// prefix (e.g. "kofl_runtime_"). Every series is a CounterFunc/GaugeFunc
+// over the atomics the network maintains anyway, so registration costs the
+// message paths nothing.
+func (n *Net) Register(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"frames_delivered_total",
+		"protocol frames decoded and handled", n.FramesDelivered)
+	reg.CounterFunc(prefix+"frames_rejected_total",
+		"frames rejected by the wire layer (checksum/decoding)", n.FramesRejected)
+	reg.CounterFunc(prefix+"frames_dropped_total",
+		"frames dropped by full links (backpressure)", n.FramesDropped)
+	reg.CounterFunc(prefix+"frames_paced_total",
+		"deliveries that slept a pacing beat before delivering", n.FramesPaced)
+	reg.CounterFunc(prefix+"timeout_retransmissions_total",
+		"root retransmission timeout firings", n.Timeouts)
+	reg.CounterFunc(prefix+"grants_total",
+		"critical-section entries granted by the protocol", n.Grants)
+	reg.GaugeFunc(prefix+"demand",
+		"application requests issued and not yet granted", n.Demand)
+	reg.GaugeFunc(prefix+"stabilized",
+		"1 when the last root census traversal saw the legitimate token population",
+		func() int64 {
+			if n.Stabilized() {
+				return 1
+			}
+			return 0
+		})
+}
+
 // inject places one raw frame on the link into p on channel ch, dropping
 // (and counting) it if the link is full — injection must never block or
 // crash the network it is attacking.
@@ -419,6 +503,9 @@ func (n *Net) inject(p, ch int, frame []byte) {
 // corruption the controller must flush away while the network keeps serving.
 // Frames that find a full link are dropped and counted, never blocked on.
 func (n *Net) InjectGarbage(seed int64) {
+	if n.opts.Journal != nil {
+		n.opts.Journal.Record(obs.KindFaultInjected, -1, seed, 0)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	for p := range n.links {
 		for ch := range n.links[p] {
@@ -434,6 +521,9 @@ func (n *Net) InjectGarbage(seed int64) {
 // InjectGarbage it may be called before Start (initial noise) or mid-run
 // (live interference), and drops rather than blocks on a full link.
 func (n *Net) InjectNoise(seed int64, frames int) {
+	if n.opts.Journal != nil {
+		n.opts.Journal.Record(obs.KindFaultInjected, -1, seed, int64(frames))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < frames; i++ {
 		p := rng.Intn(len(n.links))

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// debugMux builds the operational debug surface served on Options.DebugAddr:
+//
+//	/metrics               unified Prometheus exposition (serve + runtime)
+//	/healthz               liveness — 200 while the process serves HTTP
+//	/readyz                readiness — 200 iff the tree has stabilized and
+//	                       the server is not draining, else 503
+//	/debug/events          the recent event journal, oldest first, as JSON
+//	/debug/pprof/*         the standard Go profiling endpoints
+//
+// Liveness and readiness are deliberately distinct: a freshly started (or
+// garbage-injected) server is alive but must not take traffic until the
+// root's census traversal confirms the legitimate token population.
+func (s *Server) debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "not ready: tree not stabilized or draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.journal.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,165 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kofl/internal/obs"
+	"kofl/internal/serve"
+	"kofl/internal/tree"
+)
+
+// debugGet fetches a debug-surface path and returns status + body.
+func debugGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugSurface exercises the -debug-addr HTTP surface end to end:
+// liveness vs readiness semantics across stabilization and drain, the event
+// journal as JSON, and a strict-format check of the unified exposition
+// (the serve half of the exposition-correctness satellite — it must carry
+// both the kofl_serve_* and kofl_runtime_* registries).
+func TestDebugSurface(t *testing.T) {
+	srv, err := serve.New(tree.Paper(), serve.Options{
+		K: 3, L: 5,
+		DebugAddr: "127.0.0.1:0",
+		Timeout:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.DebugAddr()
+	if addr == "" {
+		t.Fatal("DebugAddr empty after Start")
+	}
+
+	if code, body := debugGet(t, addr, "/healthz"); code != 200 || body == "" {
+		t.Fatalf("/healthz = %d %q, want 200 non-empty", code, body)
+	}
+
+	// Readiness flips once the root's census traversal confirms legitimacy.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code, _ := debugGet(t, addr, "/readyz"); code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never turned 200")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Take and release one lease so the journal and latency series have data.
+	c, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := c.Acquire(2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(lease.ID); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	code, body := debugGet(t, addr, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"kofl_serve_grants_total 1",
+		"kofl_serve_max_units_held 2",
+		"kofl_serve_acquire_latency_us_count 1",
+		`kofl_serve_acquire_latency_summary_us{quantile="0.99"}`,
+		"kofl_runtime_frames_delivered_total",
+		"kofl_runtime_stabilized 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("unified /metrics missing %q", want)
+		}
+	}
+	if err := obs.CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("unified /metrics fails strict format check: %v\n%s", err, body)
+	}
+
+	code, body = debugGet(t, addr, "/debug/events")
+	if code != 200 {
+		t.Fatalf("/debug/events = %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/debug/events is not valid JSON: %v\n%s", err, body)
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		kinds[fmt.Sprint(e["kind"])] = true
+	}
+	for _, want := range []string{"stabilized", "lease_grant", "lease_release"} {
+		if !kinds[want] {
+			t.Errorf("/debug/events missing kind %q (have %v)", want, kinds)
+		}
+	}
+
+	if code, body := debugGet(t, addr, "/debug/pprof/"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	// Drain flips readiness off and journals the drain event. An outstanding
+	// lease holds the drain window open while we observe the 503.
+	c2, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := c2.Acquire(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownDone := make(chan struct{})
+	go func() {
+		srv.Shutdown(context.Background())
+		close(shutdownDone)
+	}()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if code, _ := debugGet(t, addr, "/readyz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz stayed 200 during drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c2.Release(held.ID)
+	c2.Close()
+	<-shutdownDone
+	sawDrain := false
+	for _, e := range srv.Journal().Snapshot() {
+		if e.Kind == obs.KindDrain {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Error("journal missing drain event after Shutdown")
+	}
+}

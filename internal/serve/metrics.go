@@ -1,13 +1,8 @@
 package serve
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
-
-	"kofl/internal/stats"
+	"kofl/internal/obs"
+	"kofl/internal/runtime"
 )
 
 // LatencyBucketUS is the acquire-latency histogram resolution: quantiles
@@ -15,36 +10,74 @@ import (
 // protocol's token-circulation timescale.
 const LatencyBucketUS = 250
 
-// metrics is the server's counter set. Counters are atomics written on the
-// hot paths; the latency histogram takes a mutex (one grant is milliseconds
-// of protocol work, so the lock is nowhere near contended).
-type metrics struct {
-	sessions       atomic.Int64 // accepted connections, lifetime
-	sessionsActive atomic.Int64
-	acquires       atomic.Int64 // acquire frames admitted to dedupe
-	grants         atomic.Int64
-	batches        atomic.Int64 // protocol cycles served (each carries ≥1 lease)
-	batchUnits     atomic.Int64 // Σ units requested across batches
-	releases       atomic.Int64 // client-initiated releases
-	expired        atomic.Int64 // TTL auto-releases
-	drained        atomic.Int64 // force-releases at shutdown
-	overloads      atomic.Int64 // full-queue rejects
-	deadlineRejs   atomic.Int64
-	drainingRejs   atomic.Int64
-	malformed      atomic.Int64
-	dedupeHits     atomic.Int64 // retries answered from the store
-	queueDepth     atomic.Int64 // acquires currently queued, all processes
-	leases         atomic.Int64 // leases outstanding
-	unitsHeld      atomic.Int64 // resource units currently leased out
-	maxUnitsHeld   atomic.Int64 // high-water mark of unitsHeld
-	latencySumUS   atomic.Int64
+// latencyBuckets spans the histogram to ~4s of queue wait before the
+// overflow bucket absorbs the tail — comfortably past any deadline a client
+// would set, and past the pre-overhaul pathological p50 of ~2.2s.
+const latencyBuckets = 16384
 
-	mu      sync.Mutex
-	latency *stats.Histogram // acquire latency, µs buckets
+// metrics is the server's counter set, registered on the server's unified
+// obs.Registry under the historical kofl_serve_* series names (every
+// pre-migration name renders byte-identically; max_units_held and the
+// acquire-latency summary are additions). Counters are sharded atomics
+// written on the hot paths; the latency histogram is lock-free fixed-bucket.
+type metrics struct {
+	sessions       *obs.Counter // accepted connections, lifetime
+	sessionsActive *obs.Gauge
+	acquires       *obs.Counter // acquire frames admitted to dedupe
+	grants         *obs.Counter
+	batches        *obs.Counter // protocol cycles served (each carries ≥1 lease)
+	batchUnits     *obs.Counter // Σ units requested across batches
+	releases       *obs.Counter // client-initiated releases
+	expired        *obs.Counter // TTL auto-releases
+	drained        *obs.Counter // force-releases at shutdown
+	overloads      *obs.Counter // full-queue rejects
+	deadlineRejs   *obs.Counter
+	drainingRejs   *obs.Counter
+	malformed      *obs.Counter
+	dedupeHits     *obs.Counter // retries answered from the store
+	queueDepth     *obs.Gauge   // acquires currently queued, all processes
+	leases         *obs.Gauge   // leases outstanding
+	unitsHeld      *obs.Gauge   // resource units currently leased out
+	maxUnitsHeld   *obs.Gauge   // high-water mark of unitsHeld
+	latency        *obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{latency: stats.NewHistogram(LatencyBucketUS)}
+// newMetrics registers the serve series on reg in the historical exposition
+// order, bridging the frame counters straight off the live network (func
+// metrics: zero cost on the message paths).
+func newMetrics(reg *obs.Registry, net *runtime.Net) *metrics {
+	m := &metrics{}
+	m.sessions = reg.Counter("kofl_serve_sessions_total", "accepted client connections")
+	m.sessionsActive = reg.Gauge("kofl_serve_sessions_active", "open client connections")
+	m.acquires = reg.Counter("kofl_serve_acquires_total", "acquire requests admitted")
+	m.grants = reg.Counter("kofl_serve_grants_total", "leases granted")
+	m.batches = reg.Counter("kofl_serve_batches_total", "protocol cycles served (batched admission)")
+	m.batchUnits = reg.Counter("kofl_serve_batch_units_total", "resource units requested across batches")
+	m.releases = reg.Counter("kofl_serve_releases_total", "client-initiated lease releases")
+	m.expired = reg.Counter("kofl_serve_leases_expired_total", "leases auto-released on TTL expiry")
+	m.drained = reg.Counter("kofl_serve_leases_drained_total", "leases force-released at shutdown")
+	m.overloads = reg.Counter("kofl_serve_rejects_overload_total", "acquires rejected by a full process queue")
+	m.deadlineRejs = reg.Counter("kofl_serve_rejects_deadline_total", "acquires rejected past their deadline")
+	m.drainingRejs = reg.Counter("kofl_serve_rejects_draining_total", "acquires rejected during drain")
+	m.malformed = reg.Counter("kofl_serve_malformed_total", "frames that failed to parse or validate")
+	m.dedupeHits = reg.Counter("kofl_serve_dedupe_hits_total", "acquire retries answered from the dedupe store")
+	m.queueDepth = reg.Gauge("kofl_serve_queue_depth", "acquires queued across all processes")
+	m.leases = reg.Gauge("kofl_serve_leases_outstanding", "leases currently held")
+	m.unitsHeld = reg.Gauge("kofl_serve_units_held", "resource units currently leased out")
+	m.maxUnitsHeld = reg.Gauge("kofl_serve_max_units_held",
+		"high-water mark of units_held — the ≤ ℓ safety watermark")
+	reg.CounterFunc("kofl_serve_frames_delivered_total",
+		"protocol frames decoded and handled", net.FramesDelivered)
+	reg.CounterFunc("kofl_serve_frames_rejected_total",
+		"protocol frames rejected by the wire layer", net.FramesRejected)
+	reg.CounterFunc("kofl_serve_frames_dropped_total",
+		"protocol frames dropped by full links (backpressure)", net.FramesDropped)
+	m.latency = reg.Histogram("kofl_serve_acquire_latency_us",
+		"acquire latency, enqueue to grant", LatencyBucketUS, latencyBuckets)
+	reg.SummaryFunc("kofl_serve_acquire_latency_summary_us",
+		"acquire latency p50/p95/p99, enqueue to grant",
+		[]float64{0.5, 0.95, 0.99}, m.latency.Quantile, m.latency.Sum, m.latency.Count)
+	return m
 }
 
 // batch accounts one granted protocol cycle and its requested units.
@@ -57,17 +90,8 @@ func (m *metrics) batch(units int) {
 func (m *metrics) grant(units int, latencyUS int64) {
 	m.grants.Add(1)
 	m.leases.Add(1)
-	held := m.unitsHeld.Add(int64(units))
-	for {
-		max := m.maxUnitsHeld.Load()
-		if held <= max || m.maxUnitsHeld.CompareAndSwap(max, held) {
-			break
-		}
-	}
-	m.latencySumUS.Add(latencyUS)
-	m.mu.Lock()
-	m.latency.Add(latencyUS)
-	m.mu.Unlock()
+	m.maxUnitsHeld.SetMax(m.unitsHeld.Add(int64(units)))
+	m.latency.Observe(latencyUS)
 }
 
 // release accounts one lease teardown; how is "client", "expired" or "drain".
@@ -84,69 +108,20 @@ func (m *metrics) release(units int, how string) {
 	}
 }
 
-// quantiles reads p50/p95/p99 acquire latency (µs) and the sample count.
-func (m *metrics) quantiles() (p50, p95, p99, count int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.latency.Quantile(0.50), m.latency.Quantile(0.95),
-		m.latency.Quantile(0.99), m.latency.Total()
+// releaseCause maps a release "how" to its journal code.
+func releaseCause(how string) int64 {
+	switch how {
+	case "expired":
+		return obs.ReleaseExpired
+	case "drain":
+		return obs.ReleaseDrain
+	default:
+		return obs.ReleaseClient
+	}
 }
 
-// writeTo renders the counter set in the Prometheus text exposition format.
-// The latency histogram is exported with cumulative le buckets, so any
-// Prometheus-compatible scraper computes the same quantiles Stats reports.
-func (m *metrics) writeTo(w io.Writer, framesDelivered, framesRejected, framesDropped int64) error {
-	counter := func(name, help string, v int64) string {
-		return fmt.Sprintf("# HELP kofl_serve_%s %s\n# TYPE kofl_serve_%s counter\nkofl_serve_%s %d\n",
-			name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) string {
-		return fmt.Sprintf("# HELP kofl_serve_%s %s\n# TYPE kofl_serve_%s gauge\nkofl_serve_%s %d\n",
-			name, help, name, name, v)
-	}
-	out := counter("sessions_total", "accepted client connections", m.sessions.Load()) +
-		gauge("sessions_active", "open client connections", m.sessionsActive.Load()) +
-		counter("acquires_total", "acquire requests admitted", m.acquires.Load()) +
-		counter("grants_total", "leases granted", m.grants.Load()) +
-		counter("batches_total", "protocol cycles served (batched admission)", m.batches.Load()) +
-		counter("batch_units_total", "resource units requested across batches", m.batchUnits.Load()) +
-		counter("releases_total", "client-initiated lease releases", m.releases.Load()) +
-		counter("leases_expired_total", "leases auto-released on TTL expiry", m.expired.Load()) +
-		counter("leases_drained_total", "leases force-released at shutdown", m.drained.Load()) +
-		counter("rejects_overload_total", "acquires rejected by a full process queue", m.overloads.Load()) +
-		counter("rejects_deadline_total", "acquires rejected past their deadline", m.deadlineRejs.Load()) +
-		counter("rejects_draining_total", "acquires rejected during drain", m.drainingRejs.Load()) +
-		counter("malformed_total", "frames that failed to parse or validate", m.malformed.Load()) +
-		counter("dedupe_hits_total", "acquire retries answered from the dedupe store", m.dedupeHits.Load()) +
-		gauge("queue_depth", "acquires queued across all processes", m.queueDepth.Load()) +
-		gauge("leases_outstanding", "leases currently held", m.leases.Load()) +
-		gauge("units_held", "resource units currently leased out", m.unitsHeld.Load()) +
-		counter("frames_delivered_total", "protocol frames decoded and handled", framesDelivered) +
-		counter("frames_rejected_total", "protocol frames rejected by the wire layer", framesRejected) +
-		counter("frames_dropped_total", "protocol frames dropped by full links (backpressure)", framesDropped)
-	if _, err := io.WriteString(w, out); err != nil {
-		return err
-	}
-
-	m.mu.Lock()
-	keys := make([]int64, 0, len(m.latency.Buckets))
-	for k := range m.latency.Buckets {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	var hist string
-	hist = "# HELP kofl_serve_acquire_latency_us acquire latency, enqueue to grant\n" +
-		"# TYPE kofl_serve_acquire_latency_us histogram\n"
-	var cum int64
-	for _, k := range keys {
-		cum += m.latency.Buckets[k]
-		hist += fmt.Sprintf("kofl_serve_acquire_latency_us_bucket{le=\"%d\"} %d\n",
-			(k+1)*m.latency.Width-1, cum)
-	}
-	hist += fmt.Sprintf("kofl_serve_acquire_latency_us_bucket{le=\"+Inf\"} %d\n", cum)
-	hist += fmt.Sprintf("kofl_serve_acquire_latency_us_sum %d\n", m.latencySumUS.Load())
-	hist += fmt.Sprintf("kofl_serve_acquire_latency_us_count %d\n", cum)
-	m.mu.Unlock()
-	_, err := io.WriteString(w, hist)
-	return err
+// quantiles reads p50/p95/p99 acquire latency (µs) and the sample count.
+func (m *metrics) quantiles() (p50, p95, p99, count int64) {
+	return m.latency.Quantile(0.50), m.latency.Quantile(0.95),
+		m.latency.Quantile(0.99), m.latency.Count()
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kofl/internal/core"
+	"kofl/internal/obs"
 	"kofl/internal/runtime"
 	"kofl/internal/tree"
 )
@@ -67,6 +68,15 @@ type Options struct {
 	// MetricsAddr, when non-empty, serves Prometheus-style metrics over
 	// HTTP at /metrics on this address.
 	MetricsAddr string
+	// DebugAddr, when non-empty, serves the operational debug surface on
+	// this address: the unified /metrics (serve + runtime series),
+	// /debug/pprof/*, /debug/events (the recent event journal as JSON), and
+	// /healthz + /readyz (ready = tree stabilized and not draining).
+	DebugAddr string
+	// JournalCapacity bounds the event journal's ring (default 1024
+	// entries). The journal records lease lifecycle, stabilization
+	// transitions, root timeouts, drain, and fault injections.
+	JournalCapacity int
 	// OnDrop is forwarded to the runtime (full-link frame drops).
 	OnDrop func(p, ch int)
 }
@@ -100,6 +110,9 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = DefaultDrainTimeout
 	}
+	if o.JournalCapacity <= 0 {
+		o.JournalCapacity = 1024
+	}
 	return o
 }
 
@@ -113,11 +126,15 @@ type Server struct {
 	ln      net.Listener
 	metrics *http.Server
 	metLn   net.Listener
+	debug   *http.Server
+	debugLn net.Listener
 
 	procs   []*procServer
 	loadIdx *loadIndex
 	dedupe  *dedupeStore
 	met     *metrics
+	reg     *obs.Registry
+	journal *obs.Journal
 
 	leases   [dedupeShards]leaseShard
 	leaseSeq atomic.Int64
@@ -178,25 +195,33 @@ func New(tr *tree.Tree, opts Options) (*Server, error) {
 		cmax = 4
 	}
 	cfg := core.Config{K: opts.K, L: opts.L, N: tr.N(), CMAX: cmax, Features: core.Full()}
+	journal := obs.NewJournal(opts.JournalCapacity, func() int64 { return time.Now().UnixNano() })
 	n, err := runtime.New(tr, cfg, runtime.Options{
 		Timeout:    opts.Timeout,
 		LinkBuffer: opts.LinkBuffer,
 		Pace:       opts.Pace,
 		IdlePace:   opts.IdlePace,
 		OnDrop:     opts.OnDrop,
+		Journal:    journal,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// One unified registry: the kofl_serve_* series first (their historical
+	// exposition order preserved), then the runtime's kofl_runtime_* series.
+	reg := obs.NewRegistry()
 	s := &Server{
 		opts:     opts,
 		tr:       tr,
 		net:      n,
 		loadIdx:  newLoadIndex(tr.N()),
 		dedupe:   newDedupeStore(opts.DedupeTTL),
-		met:      newMetrics(),
+		met:      newMetrics(reg, n),
+		reg:      reg,
+		journal:  journal,
 		sessions: make(map[*session]struct{}),
 	}
+	n.Register(reg, "kofl_runtime_")
 	for i := range s.leases {
 		s.leases[i].m = make(map[string]*lease)
 	}
@@ -248,6 +273,19 @@ func (s *Server) Start() error {
 		s.metrics = &http.Server{Handler: mux}
 		go s.metrics.Serve(mln)
 	}
+	if s.opts.DebugAddr != "" {
+		dln, err := net.Listen("tcp", s.opts.DebugAddr)
+		if err != nil {
+			ln.Close()
+			if s.metLn != nil {
+				s.metrics.Close()
+			}
+			return err
+		}
+		s.debugLn = dln
+		s.debug = &http.Server{Handler: s.debugMux()}
+		go s.debug.Serve(dln)
+	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.net.Start(s.ctx)
 	for _, ps := range s.procs {
@@ -268,6 +306,14 @@ func (s *Server) MetricsAddr() string {
 		return ""
 	}
 	return s.metLn.Addr().String()
+}
+
+// DebugAddr returns the bound debug-surface address ("" if disabled).
+func (s *Server) DebugAddr() string {
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
 }
 
 // Net exposes the underlying live network (counters, injection).
@@ -402,9 +448,25 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// WriteMetrics renders the Prometheus-style counter set.
+// WriteMetrics renders the unified Prometheus-style exposition: every
+// kofl_serve_* series (the pre-registry names byte-compatibly preserved)
+// plus the runtime's kofl_runtime_* series.
 func (s *Server) WriteMetrics(w io.Writer) error {
-	return s.met.writeTo(w, s.net.FramesDelivered(), s.net.FramesRejected(), s.net.FramesDropped())
+	return s.reg.WriteProm(w)
+}
+
+// Registry exposes the server's unified metric registry (e.g. for embedding
+// its exposition elsewhere).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Journal exposes the server's event journal.
+func (s *Server) Journal() *obs.Journal { return s.journal }
+
+// Ready reports the /readyz condition: the protocol tree has stabilized
+// (the root's last census traversal saw the legitimate token population)
+// and the server is not draining.
+func (s *Server) Ready() bool {
+	return s.net.Stabilized() && !s.draining.Load()
 }
 
 // trackSession / dropSession keep the open-session set so Close can unblock
@@ -491,6 +553,7 @@ func (s *Server) releaseLease(l *lease, how string) {
 			timer.Stop()
 		}
 		s.met.release(l.units, how)
+		s.journal.Record(obs.KindLeaseRelease, int32(l.p), int64(l.units), releaseCause(how))
 		s.loadIdx.add(l.p, -l.units)
 		l.b.memberDone()
 	})
@@ -659,7 +722,9 @@ func (ps *procServer) serveBatch(members []*pendingAcquire, sum int) {
 		leases = append(leases, l)
 		resp := Response{ID: pa.req.ID, OK: true, Lease: l.id, Units: pa.req.Units, Process: ps.p}
 		s.dedupe.complete(pa.req.ID, &resp, now)
-		s.met.grant(pa.req.Units, now.Sub(pa.enqueued).Microseconds())
+		latencyUS := now.Sub(pa.enqueued).Microseconds()
+		s.met.grant(pa.req.Units, latencyUS)
+		s.journal.Record(obs.KindLeaseGrant, int32(ps.p), int64(pa.req.Units), latencyUS)
 		corks = corkReply(corks, pa.sess, &resp)
 		putPending(pa)
 	}
@@ -702,7 +767,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.started.Load() {
 		return fmt.Errorf("serve: Shutdown before Start")
 	}
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		s.journal.Record(obs.KindDrain, -1, int64(s.leaseCount()), 0)
+	}
 	s.ln.Close()
 	// Nudge the workers: anything queued is rejected by the workers' drain
 	// checks as it surfaces; now wait for lease teardown.
@@ -737,10 +804,15 @@ func (s *Server) Close() {
 	if !s.started.Load() {
 		return
 	}
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		s.journal.Record(obs.KindDrain, -1, int64(s.leaseCount()), 0)
+	}
 	s.ln.Close()
 	if s.metrics != nil {
 		s.metrics.Close()
+	}
+	if s.debug != nil {
+		s.debug.Close()
 	}
 	// Force-release outstanding leases while the process goroutines still
 	// run (the batch teardown talks to them), unblocking parked workers.

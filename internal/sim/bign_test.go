@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"kofl/internal/core"
+	"kofl/internal/obs"
 	"kofl/internal/sim"
 	"kofl/internal/tree"
 	"kofl/internal/workload"
@@ -28,7 +29,9 @@ func saturatedSim(tb testing.TB, tr *tree.Tree) *sim.Sim {
 // simulator performs ZERO heap allocations — no message frames, no closure
 // boxes, no interface conversions, no ring growth. Ring buffers recycle
 // through the arena, the wake heap and action set are preallocated, and every
-// hot-path callback is a method value bound at construction.
+// hot-path callback is a method value bound at construction. The contract
+// holds with full instrumentation enabled (Options.Obs + Options.Journal):
+// per-step observation is field compares and ring writes, never allocation.
 func TestZeroAllocSteadyState(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -39,7 +42,16 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		{"prufer-255", tree.Prufer(255, rand.New(rand.NewSource(7)))},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			s := saturatedSim(t, tc.tr)
+			tr := tc.tr
+			cfg := core.Config{K: 2, L: 8, N: tr.N(), CMAX: 4, Features: core.Full()}
+			s := sim.MustNew(tr, cfg, sim.Options{
+				Seed:    1,
+				Obs:     obs.NewRegistry(),
+				Journal: obs.NewJournal(1024, nil),
+			})
+			for p := 0; p < tr.N(); p++ {
+				workload.Attach(s, p, workload.Fixed(1+p%2, 2, 4, 0))
+			}
 			s.Run(100_000) // converge and reach steady-state capacities
 			allocs := testing.AllocsPerRun(10, func() {
 				s.Run(2_000)

@@ -74,6 +74,7 @@ import (
 	"kofl/internal/channel"
 	"kofl/internal/core"
 	"kofl/internal/message"
+	"kofl/internal/obs"
 	"kofl/internal/tree"
 )
 
@@ -182,6 +183,17 @@ type Options struct {
 	// differential-testing oracle and the before-side of the census-
 	// throughput benchmark; the maintained census is value-identical.
 	ScanCensus bool
+	// Obs, when non-nil, registers the kofl_sim_* instrumentation series on
+	// it: the kernel counters and the maintained census bridged as func
+	// metrics (zero per-step cost) plus OverK-violation and stabilization
+	// window counters. The per-step cost is a few field compares; the
+	// zero-allocation stepping contract holds with Obs enabled.
+	Obs *obs.Registry
+	// Journal, when non-nil, receives structured stabilization telemetry
+	// stamped at the simulation clock: legitimacy transitions
+	// (stabilized/destabilized) and OverK violation open/close windows.
+	// Usable with or without Obs.
+	Journal *obs.Journal
 }
 
 // DefaultTimeoutTicks returns the default retransmission timeout for a tree
@@ -258,6 +270,7 @@ type Sim struct {
 	LastMsg    message.Message
 
 	stepHooks []func(*Sim)
+	obsSt     *obsState // Options.Obs/Journal instrumentation (nil: off)
 }
 
 // AddStepHook registers f to run after every executed step.
@@ -347,6 +360,9 @@ func New(t *tree.Tree, cfg core.Config, opts Options) (*Sim, error) {
 	}
 	if opts.Observer != nil {
 		s.AddObserver(opts.Observer)
+	}
+	if opts.Obs != nil || opts.Journal != nil {
+		s.initObs(opts.Obs, opts.Journal)
 	}
 	return s, nil
 }
@@ -697,6 +713,25 @@ func (s *Sim) Step() bool {
 	// changed without a channel hook or Handle call firing (EnterCS during a
 	// delivery, the app's own Act): re-evaluate just that process.
 	s.pollApp(a.Proc)
+	if o := s.obsSt; o != nil {
+		// Hand-inlined obsStep fast path: in steady state neither predicate
+		// changes, so instrumentation costs these loads and compares only
+		// (the ≤2% overhead budget of BENCH_step.json).
+		if s.scanCensus {
+			s.obsStepScan()
+		} else {
+			overK := s.census.OverK > 0
+			legit := s.counts.Kinds[message.Res]+int64(s.census.ReservedRes) == o.l &&
+				(!o.pusher || s.counts.Kinds[message.Push] == 1) &&
+				(!o.priority || s.counts.Kinds[message.Prio]+int64(s.census.HeldPrio) == 1) &&
+				s.counts.ResetCtrl == 0 && !o.root.ResetFlag()
+			if overK != o.prevOverK || legit != o.prevLegit {
+				s.obsTransition(overK, legit,
+					int64(s.census.OverK), int64(s.census.UnitsInUse),
+					s.counts.Kinds[message.Res]+int64(s.census.ReservedRes))
+			}
+		}
+	}
 	for _, f := range s.stepHooks {
 		f(s)
 	}

@@ -44,6 +44,22 @@ for f in BENCH_*.json; do
     [ "${gmp%.*}" -ge 2 ] || err "$f: degenerate parallel record captured at gomaxprocs=$gmp (need >= 2)"
 done
 
+# The step record must carry the instrumentation-overhead point and the
+# overhead must stay within budget: enabling Options.Obs + Options.Journal
+# costs at most 2% step throughput at n=1023. The per-step observation is a
+# handful of field compares; anything above 2% means someone put real work
+# (allocation, census assembly, locks) on the step path.
+OBS_OVERHEAD_CEILING=0.02
+
+if [ -f BENCH_step.json ]; then
+    oof=$(jnum BENCH_step.json obs_overhead_frac)
+    if [ -z "$oof" ]; then
+        err "BENCH_step.json: no obs_overhead_frac field (instrumentation-overhead point not recorded)"
+    elif [ "$(awk "BEGIN { print ($oof <= $OBS_OVERHEAD_CEILING) ? 1 : 0 }")" != 1 ]; then
+        err "BENCH_step.json: instrumentation overhead $oof exceeds the $OBS_OVERHEAD_CEILING budget (obs on the hot path?)"
+    fi
+fi
+
 if [ -f BENCH_campaign.json ]; then
     grep -q '"points"' BENCH_campaign.json || err "BENCH_campaign.json: old schema (no scaling-curve points)"
     aps=$(jnum BENCH_campaign.json allocs_per_slot)

@@ -106,5 +106,26 @@ grep -q '\-timeout' README.md || err "README.md no longer documents koflserve -t
 grep -q 'GOMAXPROCS >= 2' README.md || err "README.md no longer documents the BENCH_serve GOMAXPROCS requirement"
 grep -q 'SERVE_THROUGHPUT_FLOOR' scripts/check_bench.sh || err "check_bench.sh lost the serve throughput floor"
 
+# The observability subsystem's documented surface: the architecture section
+# with the obs design rules, the README's debug-surface and progress docs,
+# and the code they point at (the registry, the journal, the debug mux, the
+# strict exposition checker, the CLI flags, the overhead gate).
+grep -q '## Observability' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the observability section"
+grep -q 'Zero steady-state allocation' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the obs zero-allocation rule"
+grep -q 'event journal' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the event-journal docs"
+grep -q 'obs_overhead_frac' docs/ARCHITECTURE.md || err "ARCHITECTURE.md lost the recorded-overhead contract"
+grep -q '\-debug-addr' README.md || err "README.md no longer documents koflserve -debug-addr"
+grep -q '/debug/events' README.md || err "README.md no longer documents /debug/events"
+grep -q '\-progress' README.md || err "README.md no longer documents koflcampaign -progress"
+grep -q 'func NewRegistry(' internal/obs/registry.go || err "obs.NewRegistry gone but documented"
+grep -q 'func NewJournal(' internal/obs/journal.go || err "obs.NewJournal gone but documented"
+grep -q 'func CheckExposition(' internal/obs/promcheck.go || err "obs.CheckExposition gone but documented"
+grep -q 'func (s \*Server) debugMux(' internal/serve/debug.go || err "serve debug mux gone but documented"
+grep -q 'func (s \*Server) Ready(' internal/serve/server.go || err "serve readiness probe gone but documented"
+grep -q '"debug-addr"' cmd/koflserve/main.go || err "koflserve -debug-addr gone but documented"
+grep -q '"progress"' cmd/koflcampaign/main.go || err "koflcampaign -progress gone but documented"
+grep -q 'Obs \*obs.Registry' internal/sim/sim.go || err "sim.Options.Obs gone but documented"
+grep -q 'OBS_OVERHEAD_CEILING' scripts/check_bench.sh || err "check_bench.sh lost the instrumentation-overhead budget"
+
 [ "$fail" -eq 0 ] && echo "check_docs: OK"
 exit "$fail"
